@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: multiple chunks in progress per processor (Sections 4.1.2
+ * and 4.1.4).
+ *
+ * The paper's design gives each processor two signature pairs so a
+ * new chunk can execute while its predecessor arbitrates and commits
+ * ("a processor does not stall on chunk transitions"). This sweep
+ * runs BSCdypvt with 1, 2, and 4 signature pairs: one pair exposes
+ * the full commit latency at every chunk boundary; two pairs hide
+ * most of it; more pairs add little because commits are short.
+ */
+
+#include "bench_util.hh"
+
+using namespace bulksc;
+using namespace bulksc::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t instrs = instrsFromEnv(40'000);
+    const auto apps = appsFromEnv();
+    const unsigned procs = 8;
+
+    printHeader(
+        "Ablation: chunks in progress per processor (BSCdypvt)");
+    std::printf("%-12s %12s %12s %12s\n", "app", "1 chunk",
+                "2 chunks", "4 chunks");
+
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> speedups(3);
+
+    for (const AppProfile &app : apps) {
+        Results rc = runWorkload(Model::RC, app, procs, instrs);
+        double base = static_cast<double>(rc.execTime);
+        names.push_back(app.name);
+        std::printf("%-12s", app.name.c_str());
+        unsigned idx = 0;
+        for (unsigned chunks : {1u, 2u, 4u}) {
+            MachineConfig cfg;
+            cfg.bulk.maxLiveChunks = chunks;
+            Results r = runWorkload(Model::BSCdypvt, app, procs,
+                                    instrs, &cfg);
+            double sp = base / static_cast<double>(r.execTime);
+            speedups[idx++].push_back(sp);
+            std::printf(" %12.3f", sp);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-12s", "SP2-G.M.");
+    for (unsigned i = 0; i < 3; ++i)
+        std::printf(" %12.3f", splash2GeoMean(names, speedups[i]));
+    std::printf("\n(speedup over RC; 2 chunks is the paper's "
+                "configuration)\n");
+    return 0;
+}

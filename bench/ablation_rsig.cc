@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation: the RSig commit-bandwidth optimization (Section 4.2.2).
+ *
+ * Compares BSCdypvt with and without RSig across all workloads:
+ * R-signature traffic, total traffic, execution time, and how often
+ * the arbiter actually needed the R signature (the low "R Sig.
+ * Required" column of Table 4 is what makes the optimization pay).
+ */
+
+#include "bench_util.hh"
+
+using namespace bulksc;
+using namespace bulksc::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t instrs = instrsFromEnv(40'000);
+    const auto apps = appsFromEnv();
+    const unsigned procs = 8;
+
+    printHeader("Ablation: RSig commit bandwidth optimization");
+    std::printf("%-12s %12s %12s %10s %10s %9s\n", "app",
+                "RdSig(off)", "RdSig(on)", "tot ratio", "exec rat.",
+                "RSigReq%");
+
+    for (const AppProfile &app : apps) {
+        MachineConfig off;
+        off.bulk.rsigOpt = false;
+        Results a = runWorkload(Model::BSCdypvt, app, procs, instrs,
+                                &off);
+        Results b = runWorkload(Model::BSCdypvt, app, procs, instrs);
+
+        std::printf("%-12s %12.0f %12.0f %10.3f %10.3f %9.1f\n",
+                    app.name.c_str(), a.stats.get("net.bits.RdSig"),
+                    b.stats.get("net.bits.RdSig"),
+                    b.stats.get("net.bits.total") /
+                        a.stats.get("net.bits.total"),
+                    static_cast<double>(b.execTime) /
+                        static_cast<double>(a.execTime),
+                    b.stats.get("arb.rsig_required_pct"));
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: scalability (Section 6).
+ *
+ * Sweeps the processor count from 1 to 16 and reports BSCdypvt's
+ * execution time relative to RC at the same core count, plus the
+ * commit-pressure indicators (arbiter occupancy, squash rate). The
+ * paper argues BulkSC scales as long as arbitration scales and
+ * superset encoding does not blow up; with 8+ cores the distributed
+ * arbiter (4 modules) is also shown.
+ */
+
+#include "bench_util.hh"
+
+using namespace bulksc;
+using namespace bulksc::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t instrs = instrsFromEnv(30'000);
+
+    std::vector<AppProfile> apps;
+    for (const char *n : {"ocean", "barnes", "sjbb2k"})
+        apps.push_back(profileByName(n));
+    if (std::getenv("BULKSC_APPS"))
+        apps = appsFromEnv();
+
+    printHeader("Ablation: scalability with processor count");
+    std::printf("%-12s %6s %10s %10s %10s %9s %9s\n", "app", "procs",
+                "vs RC", "vsRC-dist", "squash%", "NEmpt%", "PendW");
+
+    for (const AppProfile &app : apps) {
+        for (unsigned procs : {1u, 2u, 4u, 8u, 16u}) {
+            Results rc = runWorkload(Model::RC, app, procs, instrs);
+            Results dy =
+                runWorkload(Model::BSCdypvt, app, procs, instrs);
+
+            double dist_ratio = 0;
+            if (procs >= 8) {
+                MachineConfig cfg;
+                cfg.numArbiters = 4;
+                cfg.mem.numDirectories = 4;
+                Results dd = runWorkload(Model::BSCdypvt, app, procs,
+                                         instrs, &cfg);
+                dist_ratio = static_cast<double>(rc.execTime) /
+                             static_cast<double>(dd.execTime);
+            }
+
+            std::printf("%-12s %6u %10.3f %10.3f %10.2f %9.1f %9.2f\n",
+                        app.name.c_str(), procs,
+                        static_cast<double>(rc.execTime) /
+                            static_cast<double>(dy.execTime),
+                        dist_ratio,
+                        dy.stats.get("cpu.squashed_instr_pct"),
+                        dy.stats.get("arb.non_empty_pct"),
+                        dy.stats.get("arb.avg_pending_w"));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: signature size and encoding (the "large unexplored design
+ * space" of Section 6).
+ *
+ * Sweeps the signature geometry (total bits x banks) for BSCdypvt on
+ * a subset of workloads and reports squash rate, performance vs RC,
+ * and signature traffic: smaller signatures alias more (more
+ * squashes), bigger ones cost more bandwidth per commit.
+ */
+
+#include "bench_util.hh"
+
+using namespace bulksc;
+using namespace bulksc::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t instrs = instrsFromEnv(40'000);
+    const unsigned procs = 8;
+
+    struct Geom
+    {
+        unsigned bits;
+        unsigned banks;
+    };
+    const std::vector<Geom> geoms = {
+        {512, 2}, {1024, 4}, {2048, 4}, {4096, 4}, {8192, 8},
+    };
+
+    std::vector<AppProfile> apps;
+    for (const char *n : {"ocean", "radix", "sjbb2k"})
+        apps.push_back(profileByName(n));
+    const char *env = std::getenv("BULKSC_APPS");
+    if (env)
+        apps = appsFromEnv();
+
+    printHeader("Ablation: signature size/encoding (BSCdypvt)");
+    std::printf("%-12s %12s %10s %12s %14s\n", "app", "geometry",
+                "squash%", "vs RC", "sig bits/comm");
+
+    for (const AppProfile &app : apps) {
+        Results rc = runWorkload(Model::RC, app, procs, instrs);
+        for (const Geom &g : geoms) {
+            MachineConfig cfg;
+            cfg.bulk.sigCfg.totalBits = g.bits;
+            cfg.bulk.sigCfg.numBanks = g.banks;
+            Results r = runWorkload(Model::BSCdypvt, app, procs,
+                                    instrs, &cfg);
+            double commits = r.stats.get("bulk.commits");
+            double sig_bits = r.stats.get("net.bits.WrSig") +
+                              r.stats.get("net.bits.RdSig");
+            std::printf("%-12s %7ub x%2u %10.2f %12.3f %14.0f\n",
+                        app.name.c_str(), g.bits, g.banks,
+                        r.stats.get("cpu.squashed_instr_pct"),
+                        static_cast<double>(rc.execTime) /
+                            static_cast<double>(r.execTime),
+                        commits > 0 ? sig_bits / commits : 0);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

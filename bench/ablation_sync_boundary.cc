@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation: chunk boundaries at synchronization operations.
+ *
+ * Section 3.3 / Figure 6: the longer a chunk is relative to the
+ * critical section it contains, the wider the window in which two
+ * processors' critical sections overlap and squash each other.
+ * BulkParams::endChunkOnSync starts every synchronization operation
+ * in a fresh chunk (the paper's §4.1.2 checkpoint-event boundaries).
+ * This bench measures the trade on the lock-heavy workloads: fewer
+ * contention squashes vs more (smaller) commits.
+ */
+
+#include "bench_util.hh"
+
+using namespace bulksc;
+using namespace bulksc::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t instrs = instrsFromEnv(40'000);
+    const unsigned procs = 8;
+
+    std::vector<AppProfile> apps;
+    for (const char *n : {"radiosity", "raytrace", "barnes", "sjbb2k"})
+        apps.push_back(profileByName(n));
+    if (std::getenv("BULKSC_APPS"))
+        apps = appsFromEnv();
+
+    printHeader("Ablation: chunk boundaries at sync ops (BSCdypvt)");
+    std::printf("%-12s %6s %12s %10s %10s %10s\n", "app", "sync",
+                "exec ratio", "squash%", "commits", "emptyW%");
+
+    for (const AppProfile &app : apps) {
+        Results off = runWorkload(Model::BSCdypvt, app, procs, instrs);
+        MachineConfig cfg;
+        cfg.bulk.endChunkOnSync = true;
+        Results on =
+            runWorkload(Model::BSCdypvt, app, procs, instrs, &cfg);
+
+        std::printf("%-12s %6s %12.3f %10.2f %10.0f %10.1f\n",
+                    app.name.c_str(), "off", 1.0,
+                    off.stats.get("cpu.squashed_instr_pct"),
+                    off.stats.get("bulk.commits"),
+                    off.stats.get("arb.empty_w_pct"));
+        std::printf("%-12s %6s %12.3f %10.2f %10.0f %10.1f\n",
+                    app.name.c_str(), "on",
+                    static_cast<double>(off.execTime) /
+                        static_cast<double>(on.execTime),
+                    on.stats.get("cpu.squashed_instr_pct"),
+                    on.stats.get("bulk.commits"),
+                    on.stats.get("arb.empty_w_pct"));
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration benches.
+ *
+ * Environment knobs:
+ *   BULKSC_INSTRS — dynamic instructions per processor (default per
+ *                   bench; lower for smoke runs).
+ *   BULKSC_APPS   — comma-separated app subset (default: all 13).
+ */
+
+#ifndef BULKSC_BENCH_BENCH_UTIL_HH
+#define BULKSC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+#include "workload/app_profiles.hh"
+#include "workload/generator.hh"
+
+namespace bulksc::bench {
+
+inline std::uint64_t
+instrsFromEnv(std::uint64_t dflt)
+{
+    const char *s = std::getenv("BULKSC_INSTRS");
+    if (!s)
+        return dflt;
+    std::uint64_t v = std::strtoull(s, nullptr, 10);
+    return v ? v : dflt;
+}
+
+inline std::vector<AppProfile>
+appsFromEnv()
+{
+    const char *s = std::getenv("BULKSC_APPS");
+    if (!s)
+        return allProfiles();
+    std::vector<AppProfile> out;
+    std::string str(s);
+    std::size_t pos = 0;
+    while (pos < str.size()) {
+        std::size_t comma = str.find(',', pos);
+        if (comma == std::string::npos)
+            comma = str.size();
+        std::string name = str.substr(pos, comma - pos);
+        if (!name.empty())
+            out.push_back(profileByName(name));
+        pos = comma + 1;
+    }
+    return out.empty() ? allProfiles() : out;
+}
+
+/** Geometric mean over the SPLASH-2 subset of a name->value map. */
+inline double
+splash2GeoMean(const std::vector<std::string> &names,
+               const std::vector<double> &vals)
+{
+    std::vector<double> s;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (const auto &p : splash2Profiles()) {
+            if (p.name == names[i] && vals[i] > 0) {
+                s.push_back(vals[i]);
+                break;
+            }
+        }
+    }
+    return geoMean(s);
+}
+
+inline void
+printHeader(const char *title)
+{
+    std::printf("\n=== %s ===\n", title);
+}
+
+} // namespace bulksc::bench
+
+#endif // BULKSC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 10: BSCdypvt performance with chunks
+ * of 1000, 2000, and 4000 instructions, plus "4000-exact" (a
+ * 4000-instruction chunk with the alias-free signature), all
+ * normalized to RC.
+ *
+ * Expected shape (Section 7.2): performance degrades somewhat as the
+ * chunk size grows for a few SPLASH-2 applications and for the
+ * commercial workloads, and comparing 4000 to 4000-exact shows that
+ * most of the degradation comes from increased signature aliasing
+ * rather than real data sharing between chunks.
+ */
+
+#include "bench_util.hh"
+
+using namespace bulksc;
+using namespace bulksc::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t instrs = instrsFromEnv(60'000);
+    const auto apps = appsFromEnv();
+    const unsigned procs = 8;
+
+    struct Config
+    {
+        const char *label;
+        unsigned chunk;
+        Model model;
+    };
+    const std::vector<Config> configs = {
+        {"1000", 1000, Model::BSCdypvt},
+        {"2000", 2000, Model::BSCdypvt},
+        {"4000", 4000, Model::BSCdypvt},
+        {"4000-exact", 4000, Model::BSCexact},
+    };
+
+    printHeader("Figure 10: BSCdypvt speedup over RC vs chunk size");
+    std::printf("%-12s%10s", "app", "RC");
+    for (const auto &c : configs)
+        std::printf("%12s", c.label);
+    std::printf("\n");
+
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> speedups(configs.size());
+
+    for (const AppProfile &app : apps) {
+        Results rc = runWorkload(Model::RC, app, procs, instrs);
+        double rc_time = static_cast<double>(rc.execTime);
+        std::printf("%-12s%10.3f", app.name.c_str(), 1.0);
+        names.push_back(app.name);
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            MachineConfig cfg;
+            cfg.bulk.chunkSize = configs[i].chunk;
+            Results r = runWorkload(configs[i].model, app, procs,
+                                    instrs, &cfg);
+            double sp = rc_time / static_cast<double>(r.execTime);
+            speedups[i].push_back(sp);
+            std::printf("%12.3f", sp);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-12s%10.3f", "SP2-G.M.", 1.0);
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        std::printf("%12.3f", splash2GeoMean(names, speedups[i]));
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 11: interconnection network traffic
+ * normalized to RC, broken into Rd/Wr data, R signatures, W
+ * signatures, invalidations, and other messages, for four
+ * configurations:
+ *   R = RC, E = BSCexact, N = BSCdypvt without the RSig optimization,
+ *   B = BSCdypvt.
+ *
+ * Expected shape (Section 7.4): B is ~5-13% above RC on average, the
+ * overhead coming from signature transfers and post-squash refetches;
+ * the N-vs-B difference shows the RSig optimization wiping out the
+ * RdSig category; E-vs-N shows the modest effect of aliasing.
+ */
+
+#include "bench_util.hh"
+
+using namespace bulksc;
+using namespace bulksc::bench;
+
+namespace {
+
+struct Row
+{
+    double rdwr, rdsig, wrsig, inv, other;
+
+    double
+    total() const
+    {
+        return rdwr + rdsig + wrsig + inv + other;
+    }
+};
+
+Row
+rowOf(const Results &r)
+{
+    return Row{r.stats.get("net.bits.RdWr"),
+               r.stats.get("net.bits.RdSig"),
+               r.stats.get("net.bits.WrSig"),
+               r.stats.get("net.bits.Inv"),
+               r.stats.get("net.bits.Other")};
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t instrs = instrsFromEnv(60'000);
+    const auto apps = appsFromEnv();
+    const unsigned procs = 8;
+
+    printHeader(
+        "Figure 11: traffic normalized to RC (R/E/N/B per app)");
+    std::printf("%-12s %-4s %8s %8s %8s %8s %8s %8s\n", "app", "cfg",
+                "Rd/Wr", "RdSig", "WrSig", "Inv", "Other", "Total");
+
+    double sum_b = 0, sum_n = 0, sum_e = 0;
+    unsigned count = 0;
+
+    for (const AppProfile &app : apps) {
+        Results rc = runWorkload(Model::RC, app, procs, instrs);
+        Results ex = runWorkload(Model::BSCexact, app, procs, instrs);
+        MachineConfig no_rsig;
+        no_rsig.bulk.rsigOpt = false;
+        Results n = runWorkload(Model::BSCdypvt, app, procs, instrs,
+                                &no_rsig);
+        Results b = runWorkload(Model::BSCdypvt, app, procs, instrs);
+
+        double base = rowOf(rc).total();
+        auto print = [&](const char *tag, const Results &r) {
+            Row row = rowOf(r);
+            std::printf("%-12s %-4s %8.3f %8.3f %8.3f %8.3f %8.3f "
+                        "%8.3f\n",
+                        app.name.c_str(), tag, row.rdwr / base,
+                        row.rdsig / base, row.wrsig / base,
+                        row.inv / base, row.other / base,
+                        row.total() / base);
+        };
+        print("R", rc);
+        print("E", ex);
+        print("N", n);
+        print("B", b);
+        std::printf("\n");
+
+        sum_e += rowOf(ex).total() / base;
+        sum_n += rowOf(n).total() / base;
+        sum_b += rowOf(b).total() / base;
+        ++count;
+    }
+
+    if (count) {
+        std::printf("average total vs RC:  E=%.3f  N=%.3f  B=%.3f\n",
+                    sum_e / count, sum_n / count, sum_b / count);
+        std::printf("BSCdypvt bandwidth overhead over RC: %.1f%%\n",
+                    100.0 * (sum_b / count - 1.0));
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 9: performance of SC, RC, SC++,
+ * BSCbase, BSCdypvt, BSCexact and BSCstpvt, normalized to RC, for the
+ * 11 SPLASH-2 applications, the SPLASH-2 geometric mean, and the two
+ * commercial workloads.
+ *
+ * Expected shape (paper Section 7.2): SC clearly slower than RC;
+ * SC++ ~= RC; BSCdypvt ~= RC for practically all applications except
+ * radix (signature aliasing); BSCbase below BSCdypvt; BSCstpvt within
+ * a couple percent of BSCdypvt on SPLASH-2.
+ */
+
+#include "bench_util.hh"
+
+using namespace bulksc;
+using namespace bulksc::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t instrs = instrsFromEnv(60'000);
+    const auto apps = appsFromEnv();
+    const unsigned procs = 8;
+
+    const std::vector<Model> models = {
+        Model::SC,      Model::RC,       Model::SCpp,
+        Model::BSCbase, Model::BSCdypvt, Model::BSCexact,
+        Model::BSCstpvt,
+    };
+
+    printHeader("Figure 9: speedup over RC");
+    std::printf("%-12s", "app");
+    for (Model m : models)
+        std::printf("%10s", modelName(m));
+    std::printf("\n");
+
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> speedups(models.size());
+
+    for (const AppProfile &app : apps) {
+        double rc_time = 0;
+        std::vector<double> row;
+        for (Model m : models) {
+            Results r = runWorkload(m, app, procs, instrs);
+            if (m == Model::RC)
+                rc_time = static_cast<double>(r.execTime);
+            row.push_back(static_cast<double>(r.execTime));
+        }
+        std::printf("%-12s", app.name.c_str());
+        names.push_back(app.name);
+        for (std::size_t i = 0; i < models.size(); ++i) {
+            double sp = rc_time / row[i];
+            speedups[i].push_back(sp);
+            std::printf("%10.3f", sp);
+        }
+        std::printf("\n");
+    }
+
+    // SPLASH-2 geometric mean row (SP2-G.M. in the paper).
+    std::printf("%-12s", "SP2-G.M.");
+    for (std::size_t i = 0; i < models.size(); ++i)
+        std::printf("%10.3f", splash2GeoMean(names, speedups[i]));
+    std::printf("\n");
+    return 0;
+}

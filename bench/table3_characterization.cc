@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates the paper's Table 3: BulkSC characterization.
+ *
+ * Columns, as in the paper:
+ *  - Squashed instructions (%) under BSCexact / BSCdypvt / BSCbase;
+ *  - Average set sizes (cache lines) of the Read / Write / Priv-Write
+ *    signatures under BSCdypvt;
+ *  - Speculative line displacements per 100k commits (write / read
+ *    set);
+ *  - Data supplied from the Private Buffer per 1k commits;
+ *  - Extra (aliased) cache invalidations per 1k commits.
+ */
+
+#include "bench_util.hh"
+
+using namespace bulksc;
+using namespace bulksc::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t instrs = instrsFromEnv(60'000);
+    const auto apps = appsFromEnv();
+    const unsigned procs = 8;
+
+    printHeader("Table 3: characterization of BulkSC");
+    std::printf("%-12s |%8s%8s%8s |%7s%7s%7s |%9s%9s |%8s |%8s\n",
+                "", "sq.ex%", "sq.dy%", "sq.ba%", "Read", "Write",
+                "PrivW", "WrDsp", "RdDsp", "PBuf", "XInv");
+    std::printf("%-12s |%24s |%21s |%18s |%8s |%8s\n", "app",
+                "Squashed Instr (%)", "Avg Set Sizes", "/100k comm",
+                "/1k com", "/1k com");
+
+    for (const AppProfile &app : apps) {
+        Results ex = runWorkload(Model::BSCexact, app, procs, instrs);
+        Results dy = runWorkload(Model::BSCdypvt, app, procs, instrs);
+        Results ba = runWorkload(Model::BSCbase, app, procs, instrs);
+
+        double commits = dy.stats.get("bulk.commits");
+        double per100k = commits > 0 ? 100000.0 / commits : 0;
+        double per1k = commits > 0 ? 1000.0 / commits : 0;
+
+        std::printf(
+            "%-12s |%8.2f%8.2f%8.2f |%7.1f%7.2f%7.1f |%9.1f%9.1f "
+            "|%8.1f |%8.1f\n",
+            app.name.c_str(),
+            ex.stats.get("cpu.squashed_instr_pct"),
+            dy.stats.get("cpu.squashed_instr_pct"),
+            ba.stats.get("cpu.squashed_instr_pct"),
+            dy.stats.get("bulk.avg_read_set"),
+            dy.stats.get("bulk.avg_write_set"),
+            dy.stats.get("bulk.avg_priv_write_set"),
+            dy.stats.get("bulk.spec_write_displacements") * per100k,
+            dy.stats.get("bulk.spec_read_displacements") * per100k,
+            dy.stats.get("bulk.priv_buffer_supplies") * per1k,
+            dy.stats.get("mem.extra_invals") * per1k);
+    }
+    std::printf("\nAll columns except the first three use BSCdypvt, "
+                "as in the paper.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates the paper's Table 4: characterization of the commit
+ * process and coherence operations under BSCdypvt.
+ *
+ * Columns, as in the paper:
+ *  - Signature expansion in the directory: lookups per commit,
+ *    unnecessary (aliased) lookups %, unnecessary updates %;
+ *  - Nodes receiving each W signature;
+ *  - Arbiter: pending W signatures (time-averaged), % of time the W
+ *    list is non-empty, % of commits requiring the R signature
+ *    (RSig optimization), % of commits with an empty W signature.
+ */
+
+#include "bench_util.hh"
+
+using namespace bulksc;
+using namespace bulksc::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t instrs = instrsFromEnv(60'000);
+    const auto apps = appsFromEnv();
+    const unsigned procs = 8;
+
+    printHeader("Table 4: commit process and coherence (BSCdypvt)");
+    std::printf("%-12s |%9s%9s%9s |%8s |%8s%9s%9s%9s\n", "app",
+                "Lkup/Cm", "UnnLk%", "UnnUp%", "Nod/W", "PendW",
+                "NEmpt%", "RSigRq%", "EmptyW%");
+
+    for (const AppProfile &app : apps) {
+        Results r = runWorkload(Model::BSCdypvt, app, procs, instrs);
+        double commits = r.stats.get("bulk.commits");
+        double lookups = r.stats.get("mem.dir_lookups");
+        double alias = r.stats.get("mem.dir_alias_lookups");
+        double updates = r.stats.get("mem.dir_updates");
+        double alias_up = r.stats.get("mem.dir_alias_updates");
+
+        std::printf(
+            "%-12s |%9.1f%9.1f%9.2f |%8.2f |%8.2f%9.1f%9.1f%9.1f\n",
+            app.name.c_str(), commits > 0 ? lookups / commits : 0,
+            lookups > 0 ? 100.0 * alias / lookups : 0,
+            updates > 0 ? 100.0 * alias_up / updates : 0,
+            r.stats.get("bulk.nodes_per_wsig"),
+            r.stats.get("arb.avg_pending_w"),
+            r.stats.get("arb.non_empty_pct"),
+            r.stats.get("arb.rsig_required_pct"),
+            r.stats.get("arb.empty_w_pct"));
+    }
+    return 0;
+}

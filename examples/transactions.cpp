@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Transactional memory on BulkSC (the paper's Section 8 observation
+ * that BulkSC is "a convenient building block for TM": a transaction
+ * is simply a chunk whose boundaries are pinned to the transaction's).
+ *
+ * A bank-transfer workload: accounts live in shared memory, and each
+ * processor transactionally moves a fixed amount between account
+ * pairs. Under BulkSC the chunks give each transfer atomicity and
+ * isolation for free; the baselines execute the same trace with the
+ * markers as no-ops, and the reader can watch atomicity break.
+ *
+ *   ./build/examples/transactions
+ */
+
+#include <cstdio>
+
+#include "system/system.hh"
+#include "workload/generator.hh"
+
+using namespace bulksc;
+
+namespace {
+
+constexpr Addr kAccounts = 0x9000'0000;
+constexpr unsigned kNumAccounts = 8;
+constexpr std::uint64_t kInitialBalance = 1000;
+
+Addr
+account(unsigned i)
+{
+    return kAccounts + Addr{i} * 64; // one line per account
+}
+
+Op
+load(Addr a, std::uint32_t gap = 1, std::uint32_t slot = kNoSlot)
+{
+    Op op;
+    op.type = OpType::Load;
+    op.addr = a;
+    op.gap = gap;
+    op.aux = slot;
+    op.tracked = true;
+    return op;
+}
+
+Op
+store(Addr a, std::uint64_t v, std::uint32_t gap = 1)
+{
+    Op op;
+    op.type = OpType::Store;
+    op.addr = a;
+    op.storeValue = v;
+    op.gap = gap;
+    op.tracked = true;
+    return op;
+}
+
+Op
+marker(OpType t, std::uint32_t gap = 2)
+{
+    Op op;
+    op.type = t;
+    op.gap = gap;
+    return op;
+}
+
+/**
+ * Each processor repeatedly "transfers" by rewriting a pair of
+ * accounts so the PAIR SUM is preserved (trace values are static, so
+ * the transfer writes balance-delta / balance+delta for a fixed
+ * delta). An observer processor polls pairs and checks the invariant.
+ */
+Trace
+transferTrace(unsigned p, unsigned transfers)
+{
+    std::vector<Op> ops;
+    for (unsigned t = 0; t < transfers; ++t) {
+        unsigned from = (p + t) % kNumAccounts;
+        unsigned to = (p + t + 1) % kNumAccounts;
+        ops.push_back(marker(OpType::TxBegin, 10));
+        ops.push_back(load(account(from), 2));
+        ops.push_back(load(account(to), 2));
+        ops.push_back(store(account(from), kInitialBalance - 50, 4));
+        // A long transaction body between the two halves of the
+        // transfer: a non-transactional machine exposes the torn
+        // state for all of it.
+        ops.push_back(load(0x2000 + p * 64, 600));
+        ops.push_back(store(account(to), kInitialBalance + 50, 4));
+        ops.push_back(marker(OpType::TxEnd, 2));
+        ops.push_back(load(0x1000 + p * 64, 80));
+    }
+    Trace tr;
+    tr.ops = std::move(ops);
+    tr.finalize();
+    return tr;
+}
+
+Trace
+observerTrace(unsigned polls)
+{
+    std::vector<Op> ops;
+    std::uint32_t slot = 0;
+    for (unsigned i = 0; i < polls; ++i) {
+        unsigned a = i % kNumAccounts;
+        unsigned b = (a + 1) % kNumAccounts;
+        ops.push_back(load(account(a), 40, slot++));
+        ops.push_back(load(account(b), 1, slot++));
+    }
+    Trace tr;
+    tr.ops = std::move(ops);
+    tr.finalize();
+    return tr;
+}
+
+unsigned
+tornObservations(Model m)
+{
+    const unsigned kTransfers = 30, kPolls = 60;
+    std::vector<Trace> traces;
+    for (unsigned p = 0; p < 3; ++p)
+        traces.push_back(transferTrace(p, kTransfers));
+    traces.push_back(observerTrace(kPolls));
+
+    MachineConfig cfg;
+    cfg.model = m;
+    cfg.numProcs = 4;
+    System sys(cfg, std::move(traces));
+    Results r = sys.run(400'000'000);
+    if (!r.completed)
+        return ~0u;
+
+    unsigned torn = 0;
+    for (unsigned i = 0; i < kPolls; ++i) {
+        std::uint64_t va = r.loadResults[3][2 * i];
+        std::uint64_t vb = r.loadResults[3][2 * i + 1];
+        if (va == 0)
+            va = kInitialBalance; // never written yet
+        if (vb == 0)
+            vb = kInitialBalance;
+        // Any pair state composed of complete transfers sums to
+        // 2*initial or differs by a full +-50/+50 pair; observing
+        // exactly one half of a transfer breaks the +-50 pairing.
+        bool half_transfer =
+            (va == kInitialBalance - 50 && vb == kInitialBalance) ||
+            (va == kInitialBalance && vb == kInitialBalance + 50);
+        if (half_transfer)
+            ++torn;
+    }
+    return torn;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("Transactional bank transfers: 3 writers x 30 "
+                "transactions, 1 observer x 60 polls\n\n");
+    std::printf("%-10s %24s\n", "machine", "torn observations");
+    for (Model m : {Model::BSCdypvt, Model::BSCexact, Model::RC,
+                    Model::TSO}) {
+        unsigned torn = tornObservations(m);
+        std::printf("%-10s %18u %s\n", modelName(m), torn,
+                    isBulk(m) ? "(transactions = chunks: atomic)"
+                              : "(markers are no-ops: can tear)");
+    }
+    std::printf(
+        "\nOn BulkSC the transaction IS the chunk: its stores become "
+        "visible as one\natomic commit, and conflicting transactions "
+        "squash and retry — no extra\nhardware beyond what SC "
+        "enforcement already provides (paper, Section 8).\n");
+    return 0;
+}

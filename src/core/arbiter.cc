@@ -1,0 +1,170 @@
+#include "core/arbiter.hh"
+
+#include "sim/logging.hh"
+#include "sim/trace_log.hh"
+
+namespace bulksc {
+
+Arbiter::Arbiter(EventQueue &eq, Network &n, NodeId node_,
+                 Tick processing_, bool rsig_opt, unsigned max_commits)
+    : SimObject(eq, "arbiter"), net(n), node(node_),
+      processing(processing_), rsigOpt(rsig_opt),
+      maxCommits(max_commits)
+{}
+
+void
+Arbiter::touchStats()
+{
+    Tick now = curTick();
+    Tick dt = now - lastTouch;
+    stats_.pendingIntegral +=
+        static_cast<double>(wList.size()) * static_cast<double>(dt);
+    if (!wList.empty())
+        stats_.nonEmptyTicks += dt;
+    lastTouch = now;
+}
+
+bool
+Arbiter::collides(const Signature &s) const
+{
+    for (const auto &w : wList) {
+        if (w->intersects(s))
+            return true;
+    }
+    return false;
+}
+
+void
+Arbiter::requestCommit(ProcId p, std::shared_ptr<Signature> w,
+                       RProvider r_provider,
+                       std::function<void(bool)> reply)
+{
+    // Request message: with the RSig optimization only W travels.
+    unsigned bits = w->empty() ? 16 : w->compressedBits();
+    std::shared_ptr<Signature> upfront_r;
+    if (!rsigOpt) {
+        upfront_r = r_provider();
+        net.send(p, node, TrafficClass::RdSig,
+                 upfront_r ? upfront_r->compressedBits() : 16, [] {});
+    }
+    net.send(p, node, TrafficClass::WrSig, bits,
+             [this, p, w, upfront_r, r_provider, reply] {
+        ++stats_.requests;
+
+        // Pre-arbitration: reject everyone but the owner.
+        if (preArbOwner != ~ProcId{0} && preArbOwner != p) {
+            ++stats_.denials;
+            eventq.scheduleAfter(processing, [this, p, reply] {
+                net.send(node, p, TrafficClass::Other, 8,
+                         [reply] { reply(false); });
+            });
+            return;
+        }
+        if (preArbOwner == p)
+            preArbOwner = ~ProcId{0};
+
+        decide(p, w, upfront_r, r_provider, std::move(reply));
+    });
+}
+
+void
+Arbiter::decide(ProcId p, const std::shared_ptr<Signature> &w,
+                std::shared_ptr<Signature> r, RProvider r_provider,
+                std::function<void(bool)> reply)
+{
+    // The entire check runs atomically at the decision tick: the W
+    // list is examined exactly once, and if the R signature turns out
+    // to be needed but absent (RSig optimization), it is fetched and
+    // the decision re-runs against the then-current list.
+    eventq.scheduleAfter(processing, [this, p, w, r, r_provider,
+                                      reply] {
+        auto finalize = [this, p, reply](
+                            bool ok,
+                            const std::shared_ptr<Signature> &w_) {
+            TRACE_LOG(TraceCat::Commit, curTick(), "arbiter: ",
+                      ok ? "grant" : "deny", " for proc ", p,
+                      " (pending W list: ", wList.size(), ")");
+            if (ok) {
+                ++stats_.grants;
+                if (w_->empty()) {
+                    ++stats_.emptyWCommits;
+                } else {
+                    touchStats();
+                    wList.push_back(w_);
+                }
+            } else {
+                ++stats_.denials;
+            }
+            tryActivatePreArb();
+            net.send(node, p, TrafficClass::Other, 8,
+                     [reply, ok] { reply(ok); });
+        };
+
+        if (wList.empty()) {
+            finalize(true, w);
+            return;
+        }
+        if (!r) {
+            // RSig slow path: fetch R, then re-decide.
+            ++stats_.rsigRequired;
+            net.send(node, p, TrafficClass::Other, 16,
+                     [this, p, w, r_provider, reply] {
+                auto fetched = r_provider();
+                if (!fetched) {
+                    // Chunk vanished (squashed); deny.
+                    ++stats_.denials;
+                    tryActivatePreArb();
+                    net.send(node, p, TrafficClass::Other, 8,
+                             [reply] { reply(false); });
+                    return;
+                }
+                net.send(p, node, TrafficClass::RdSig,
+                         fetched->compressedBits(),
+                         [this, p, w, fetched, r_provider, reply] {
+                    decide(p, w, fetched, r_provider, reply);
+                });
+            });
+            return;
+        }
+        bool ok = !collides(*r) && !collides(*w) &&
+                  wList.size() < maxCommits;
+        finalize(ok, w);
+    });
+}
+
+void
+Arbiter::commitDone(const std::shared_ptr<Signature> &w)
+{
+    for (auto it = wList.begin(); it != wList.end(); ++it) {
+        if (it->get() == w.get()) {
+            touchStats();
+            wList.erase(it);
+            tryActivatePreArb();
+            return;
+        }
+    }
+}
+
+void
+Arbiter::preArbitrate(ProcId p, std::function<void()> granted)
+{
+    ++stats_.preArbitrations;
+    preArbQueue.emplace_back(p, std::move(granted));
+    tryActivatePreArb();
+}
+
+void
+Arbiter::tryActivatePreArb()
+{
+    if (preArbOwner != ~ProcId{0} || preArbQueue.empty() ||
+        !wList.empty()) {
+        return;
+    }
+    auto [p, granted] = std::move(preArbQueue.front());
+    preArbQueue.pop_front();
+    preArbOwner = p;
+    net.send(node, p, TrafficClass::Other, 8,
+             [granted = std::move(granted)] { granted(); });
+}
+
+} // namespace bulksc

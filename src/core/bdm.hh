@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Per-processor Bulk Disambiguation Module state: the chunk descriptor
+ * (R / W / Wpriv signature set, speculative values, execution
+ * bookkeeping) and the Private Buffer of the dynamically-private data
+ * optimization (Section 5.2).
+ *
+ * The BDM is deliberately decoupled from the cache: the tag/data arrays
+ * never learn what is speculative. All speculation bookkeeping lives
+ * here, and interacts with the cache only through victim filters and
+ * bulk operations.
+ */
+
+#ifndef BULKSC_CORE_BDM_HH
+#define BULKSC_CORE_BDM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/sc_verifier.hh"
+#include "signature/signature.hh"
+#include "sim/types.hh"
+
+namespace bulksc {
+
+/**
+ * The Private Buffer: holds the pre-update version of dirty
+ * non-speculative lines whose writes were diverted to Wpriv. ~24
+ * entries, not on any critical path (Section 5.2). Only membership is
+ * modelled; data contents live in the simulator's value store.
+ */
+class PrivateBuffer
+{
+  public:
+    explicit PrivateBuffer(unsigned capacity = 24) : cap(capacity) {}
+
+    bool full() const { return lines.size() >= cap; }
+
+    bool contains(LineAddr l) const { return lines.count(l) != 0; }
+
+    /** @return false if the buffer is full (caller must fall back to
+     *  writeback + W insertion). */
+    bool
+    insert(LineAddr l)
+    {
+        if (lines.count(l))
+            return true;
+        if (full())
+            return false;
+        lines.insert(l);
+        if (lines.size() > highWater)
+            highWater = static_cast<unsigned>(lines.size());
+        return true;
+    }
+
+    void erase(LineAddr l) { lines.erase(l); }
+
+    void clear() { lines.clear(); }
+
+    std::size_t size() const { return lines.size(); }
+
+    unsigned highWatermark() const { return highWater; }
+
+    const std::unordered_set<LineAddr> &entries() const { return lines; }
+
+  private:
+    unsigned cap;
+    unsigned highWater = 0;
+    std::unordered_set<LineAddr> lines;
+};
+
+/**
+ * One in-flight chunk: a dynamically-built group of consecutive
+ * instructions executing speculatively with its own signature set and
+ * checkpoint (Section 4.1).
+ */
+struct Chunk
+{
+    Chunk(std::uint64_t seq_, std::size_t start_pos, unsigned target,
+          const SignatureConfig &cfg)
+        : seq(seq_), startPos(start_pos), targetSize(target), r(cfg),
+          w(cfg), wpriv(cfg)
+    {}
+
+    /** Monotonic chunk id (the hardware's Chunk ID bits). */
+    std::uint64_t seq;
+
+    /** Trace position of the checkpoint (rollback target). */
+    std::size_t startPos;
+
+    /** Instructions after which the chunk ends (shrinks on squash). */
+    unsigned targetSize;
+
+    /** Instructions executed so far (including spin iterations). */
+    std::uint64_t execInstrs = 0;
+
+    Signature r;     //!< read signature
+    Signature w;     //!< write signature (consistency-visible)
+    Signature wpriv; //!< private-write signature (Section 5)
+
+    /** Speculative values written by this chunk (tracked addrs). */
+    std::unordered_map<Addr, std::uint64_t> specValues;
+
+    /** Program-ordered access log for the SC verifier (only filled
+     *  when a verifier is attached). */
+    std::vector<LoggedAccess> accessLog;
+
+    /** Lines whose old version this chunk parked in the Private
+     *  Buffer. */
+    std::vector<LineAddr> privBufLines;
+
+    /** Store lines not yet present in the L1 (commit must wait). */
+    std::unordered_set<LineAddr> outstandingStoreLines;
+
+    /** Forwarding-log entries not yet drained into R (the window of
+     *  vulnerability of Section 3.2.1). */
+    unsigned pendingFwd = 0;
+
+    /** Loads issued for this chunk and not yet completed. */
+    unsigned inflightLoads = 0;
+
+    /** The chunk has reached its boundary (size/overflow/trace end). */
+    bool endReached = false;
+
+    /** Transaction nesting depth at the checkpoint (restored on
+     *  squash so re-execution re-enters transactions correctly). */
+    unsigned txnDepthAtStart = 0;
+
+    /** A permission-to-commit request is outstanding. */
+    bool arbitrating = false;
+
+    bool
+    readyToArbitrate() const
+    {
+        return endReached && !arbitrating && inflightLoads == 0 &&
+               outstandingStoreLines.empty() && pendingFwd == 0;
+    }
+};
+
+} // namespace bulksc
+
+#endif // BULKSC_CORE_BDM_HH

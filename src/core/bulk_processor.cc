@@ -1,0 +1,733 @@
+#include "core/bulk_processor.hh"
+
+#include "sim/logging.hh"
+#include "sim/trace_log.hh"
+
+namespace bulksc {
+
+BulkProcessor::BulkProcessor(EventQueue &eq, const std::string &name,
+                             ProcId pid, MemorySystem &mem,
+                             const Trace &trace,
+                             const CpuParams &cpu_params,
+                             const BulkParams &bulk_params,
+                             ArbiterIface &arb_)
+    : ProcessorBase(eq, name, pid, mem, trace, cpu_params),
+      bprm(bulk_params), arb(arb_), nextChunkTarget(bprm.chunkSize),
+      privBuf(bprm.privBufferEntries)
+{}
+
+Chunk *
+BulkProcessor::currentChunk()
+{
+    if (!chunks.empty() && !chunks.back()->endReached)
+        return chunks.back().get();
+    if (chunks.size() >= bprm.maxLiveChunks)
+        return nullptr; // out of signature pairs: stall
+    chunks.push_back(std::make_unique<Chunk>(nextSeq++, pos,
+                                             nextChunkTarget,
+                                             bprm.sigCfg));
+    chunks.back()->txnDepthAtStart = txnDepth;
+    TRACE_LOG(TraceCat::Chunk, curTick(), name(), ": chunk ",
+              chunks.back()->seq, " opens at op ", pos, " (target ",
+              nextChunkTarget, " instrs)");
+    return chunks.back().get();
+}
+
+Chunk *
+BulkProcessor::findChunk(std::uint64_t seq)
+{
+    for (auto &c : chunks) {
+        if (c->seq == seq)
+            return c.get();
+    }
+    return nullptr;
+}
+
+void
+BulkProcessor::retireWindow()
+{
+    while (!window.empty() && window.front().completed)
+        window.pop_front();
+}
+
+bool
+BulkProcessor::windowFull() const
+{
+    if (window.size() >= prm.windowOps)
+        return true;
+    if (!window.empty() &&
+        trace.instrsBetween(window.front().opIdx, pos) >= prm.robInstrs) {
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+BulkProcessor::specRead(Addr addr) const
+{
+    for (auto it = chunks.rbegin(); it != chunks.rend(); ++it) {
+        auto vit = (*it)->specValues.find(addr);
+        if (vit != (*it)->specValues.end())
+            return vit->second;
+    }
+    return mem.readValue(addr);
+}
+
+bool
+BulkProcessor::anyLiveW(LineAddr line) const
+{
+    for (const auto &c : chunks) {
+        if (c->w.contains(line))
+            return true;
+    }
+    return false;
+}
+
+bool
+BulkProcessor::anyLiveWExact(LineAddr line) const
+{
+    for (const auto &c : chunks) {
+        if (c->w.containsExact(line))
+            return true;
+    }
+    return false;
+}
+
+bool
+BulkProcessor::anyLiveWpriv(LineAddr line) const
+{
+    for (const auto &c : chunks) {
+        if (c->wpriv.contains(line))
+            return true;
+    }
+    return false;
+}
+
+void
+BulkProcessor::loadToChunk(Chunk &c, LineAddr line, bool stack_ref)
+{
+    if (bprm.statPrivOpt && stack_ref)
+        return; // private reads do not pollute R (Section 5.1)
+    c.r.insert(line);
+
+    // Data forwarding from an uncommitted predecessor chunk's write:
+    // log it; the successor's R update takes a few cycles and commit of
+    // the predecessor must wait for the log to drain (Section 3.2.1).
+    for (const auto &pred : chunks) {
+        if (pred.get() == &c)
+            break;
+        if (pred->w.contains(line)) {
+            ++c.pendingFwd;
+            eventq.scheduleAfter(bprm.fwdLogDelay,
+                                 [this, seq = c.seq] {
+                                     Chunk *ch = findChunk(seq);
+                                     if (ch && ch->pendingFwd) {
+                                         --ch->pendingFwd;
+                                         maybeArbitrate();
+                                     }
+                                 });
+            break;
+        }
+    }
+}
+
+void
+BulkProcessor::storeToChunk(Chunk &c, Addr addr, bool stack_ref,
+                            bool tracked, std::uint64_t value)
+{
+    LineAddr line = lineOf(addr, prm.lineBytes);
+
+    if (bprm.statPrivOpt && stack_ref) {
+        c.wpriv.insert(line);
+    } else if (mem.l1State(pid, line) == LineState::Dirty &&
+               !anyLiveW(line)) {
+        // The line is dirty non-speculative: its current contents are
+        // committed state that a squash must not destroy.
+        if (bprm.dynPrivOpt) {
+            if (anyLiveWpriv(line)) {
+                c.wpriv.insert(line);
+            } else if (privBuf.insert(line)) {
+                c.privBufLines.push_back(line);
+                c.wpriv.insert(line);
+            } else {
+                ++bstats.privBufferOverflows;
+                mem.writebackLine(pid, line);
+                c.w.insert(line);
+            }
+        } else {
+            // BSCbase: write the old version back to memory, then
+            // treat the write as ordinary speculative state.
+            ++bstats.baseWritebacks;
+            mem.writebackLine(pid, line);
+            c.w.insert(line);
+        }
+    } else {
+        c.w.insert(line);
+    }
+
+    if (tracked) {
+        c.specValues[addr] = value;
+        if (verifier)
+            c.accessLog.push_back({addr, value, true});
+    }
+
+    // Fetch the line if absent (as a Read: BulkSC write misses are
+    // read requests, Section 4.3); mark it dirty-speculative once
+    // present. Stores never stall the processor (Section 6).
+    if (mem.l1Contains(pid, line)) {
+        mem.markDirty(pid, line);
+    } else {
+        c.outstandingStoreLines.insert(line);
+        // No epoch guard: the chunk lookup by seq is the staleness
+        // check (a squashed chunk is simply gone).
+        mem.access(pid, addr, MemCmd::Read,
+                   [this, line, seq = c.seq] {
+                       Chunk *ch = findChunk(seq);
+                       if (ch) {
+                           mem.markDirty(pid, line);
+                           ch->outstandingStoreLines.erase(line);
+                           maybeArbitrate();
+                       }
+                       advance();
+                   });
+    }
+
+    // Keep the chunk from growing past the point where the next
+    // speculative line could not be held (Section 4.1.2).
+    if (wouldOverflowSet(line))
+        c.endReached = true;
+}
+
+bool
+BulkProcessor::wouldOverflowSet(LineAddr line) const
+{
+    const unsigned assoc = mem.params().l1.assoc;
+    const std::uint64_t num_sets = mem.params().l1.numSets();
+    std::unordered_set<LineAddr> set_lines;
+    for (const auto &ch : chunks) {
+        for (LineAddr l : ch->w.exactLines()) {
+            if (l % num_sets == line % num_sets)
+                set_lines.insert(l);
+        }
+        for (LineAddr l : ch->wpriv.exactLines()) {
+            if (l % num_sets == line % num_sets)
+                set_lines.insert(l);
+        }
+    }
+    // Re-writing an already-speculative line needs no new way.
+    if (set_lines.count(line))
+        return false;
+    return set_lines.size() >= assoc - 1;
+}
+
+void
+BulkProcessor::issueLoad(Chunk &c, const Op &op)
+{
+    LineAddr line = lineOf(op.addr, prm.lineBytes);
+    loadToChunk(c, line, op.stackRef);
+    if (op.aux != kNoSlot)
+        recordLoad(op, specRead(op.addr));
+    if (verifier && op.tracked)
+        c.accessLog.push_back({op.addr, specRead(op.addr), false});
+
+    window.push_back({pos, c.seq, false});
+    // No epoch guard: after a squash the window scan and chunk lookup
+    // find nothing for dropped work, while completions for surviving
+    // older chunks' loads must still land.
+    auto lat = mem.access(pid, op.addr, MemCmd::Read,
+                          [this, idx = pos, seq = c.seq] {
+                              for (auto &w : window) {
+                                  if (w.opIdx == idx)
+                                      w.completed = true;
+                              }
+                              Chunk *ch = findChunk(seq);
+                              if (ch && ch->inflightLoads) {
+                                  --ch->inflightLoads;
+                                  maybeArbitrate();
+                              }
+                              advance();
+                          });
+    if (lat)
+        window.back().completed = true;
+    else
+        ++c.inflightLoads;
+}
+
+void
+BulkProcessor::issueStore(Chunk &c, const Op &op)
+{
+    window.push_back({pos, c.seq, true});
+    storeToChunk(c, op.addr, op.stackRef, op.tracked, op.storeValue);
+}
+
+void
+BulkProcessor::finishOp()
+{
+    const Op &op = trace.ops[pos];
+    Chunk &cur = *chunks.back();
+    cur.execInstrs += op.gap + 1;
+    ++pos;
+    gapCharged = false;
+    if (cur.execInstrs >= cur.targetSize && !cur.endReached &&
+        txnDepth == 0) {
+        cur.endReached = true;
+        maybeArbitrate();
+    }
+}
+
+void
+BulkProcessor::advance()
+{
+    if (finished())
+        return;
+    retireWindow();
+    maybeArbitrate();
+    if (preArbWaiting)
+        return;
+
+    while (true) {
+        retireWindow();
+        if (pos >= trace.ops.size()) {
+            if (syncBusy || !window.empty())
+                return;
+            if (!chunks.empty()) {
+                if (!chunks.back()->endReached) {
+                    chunks.back()->endReached = true;
+                    maybeArbitrate();
+                }
+                return;
+            }
+            if (committingCount == 0)
+                markFinished();
+            return;
+        }
+        if (syncBusy || windowFull())
+            return;
+
+        Chunk *cur = currentChunk();
+        if (!cur)
+            return; // both signature pairs busy
+
+        const Op &op = trace.ops[pos];
+        if (!gapCharged) {
+            fetchAvail = fetchAdvance(op.gap + 1);
+            gapCharged = true;
+        }
+        if (fetchAvail > curTick()) {
+            scheduleAdvance(fetchAvail);
+            return;
+        }
+
+        if (op.type == OpType::TxBegin) {
+            // A transaction occupies a chunk of its own: its commit
+            // IS the chunk commit, so atomicity and conflict handling
+            // come for free from the chunk machinery (Section 8).
+            if (txnDepth == 0 && cur->execInstrs > 0) {
+                cur->endReached = true;
+                maybeArbitrate();
+                continue;
+            }
+            ++txnDepth;
+            finishOp();
+            continue;
+        }
+        if (op.type == OpType::TxEnd) {
+            panic_if(txnDepth == 0, name(),
+                     ": TxEnd without a matching TxBegin");
+            --txnDepth;
+            finishOp();
+            if (txnDepth == 0) {
+                Chunk &c = *chunks.back();
+                if (!c.endReached) {
+                    c.endReached = true;
+                    maybeArbitrate();
+                }
+            }
+            continue;
+        }
+        if (op.type == OpType::Load) {
+            issueLoad(*cur, op);
+            finishOp();
+        } else if (op.type == OpType::Store) {
+            // The store's speculative line must have a guaranteed L1
+            // way. If the current chunk contributes to the pressure,
+            // end it (the store lands in the next chunk); if the
+            // pressure comes entirely from a predecessor chunk, wait
+            // for it to commit.
+            LineAddr line = lineOf(op.addr, prm.lineBytes);
+            if (wouldOverflowSet(line)) {
+                fatal_if(txnDepth > 0,
+                         "transaction working set exceeds L1 way "
+                         "capacity; transactions are cache-bounded "
+                         "(Section 8)");
+                if (!cur->endReached) {
+                    cur->endReached = true;
+                    maybeArbitrate();
+                }
+                if (chunks.size() >= bprm.maxLiveChunks)
+                    return; // wake on predecessor commit
+                continue;
+            }
+            issueStore(*cur, op);
+            finishOp();
+        } else {
+            if (bprm.endChunkOnSync && cur->execInstrs > 0 &&
+                !cur->endReached) {
+                // Start the synchronization in a fresh chunk so its
+                // critical section shares a chunk with as little
+                // unrelated work as possible (Figure 6).
+                cur->endReached = true;
+                maybeArbitrate();
+                continue;
+            }
+            syncBusy = true;
+            execSync(op, [this, e = epoch] {
+                if (epoch != e)
+                    return;
+                syncBusy = false;
+                finishOp();
+                advance();
+            });
+            return;
+        }
+    }
+}
+
+void
+BulkProcessor::maybeArbitrate()
+{
+    if (chunks.empty() || preArbWaiting)
+        return;
+    Chunk &front = *chunks.front();
+    if (!front.readyToArbitrate())
+        return;
+
+    front.arbitrating = true;
+    bstats.rSizeSum += static_cast<double>(front.r.exactSize());
+    bstats.wSizeSum += static_cast<double>(front.w.exactSize());
+    bstats.wprivSizeSum += static_cast<double>(front.wpriv.exactSize());
+
+    auto w = std::make_shared<Signature>(front.w);
+    std::uint64_t seq = front.seq;
+
+    RProvider r_provider = [this, seq]() -> std::shared_ptr<Signature> {
+        Chunk *c = findChunk(seq);
+        return c ? std::make_shared<Signature>(c->r) : nullptr;
+    };
+
+    arb.requestCommit(pid, w, std::move(r_provider),
+                      [this, seq, w](bool granted) {
+        Chunk *c = findChunk(seq);
+        if (!c) {
+            // The chunk was squashed while its request was in flight.
+            if (granted) {
+                ++bstats.abortedGrants;
+                arb.commitDone(w);
+            }
+            return;
+        }
+        if (!granted) {
+            ++bstats.deniedCommits;
+            c->arbitrating = false;
+            eventq.scheduleAfter(bprm.commitRetryDelay,
+                                 [this] { maybeArbitrate(); });
+            return;
+        }
+        onGranted(seq, w);
+    });
+}
+
+void
+BulkProcessor::onGranted(std::uint64_t seq, std::shared_ptr<Signature> w)
+{
+    Chunk *c = findChunk(seq);
+    panic_if(!c, "granted chunk not found");
+    panic_if(chunks.front().get() != c,
+             "granted chunk is not the oldest");
+
+    // The commit point: speculative values become the committed state.
+    for (const auto &[a, v] : c->specValues)
+        mem.writeValue(a, v);
+    if (verifier)
+        verifier->chunkCommitted(pid, std::move(c->accessLog));
+
+    ++bstats.commits;
+    if (w->empty())
+        ++bstats.emptyWCommits;
+    nRetired += c->execInstrs;
+    TRACE_LOG(TraceCat::Commit, curTick(), name(), ": chunk ", seq,
+              " granted (", c->execInstrs, " instrs, |W|=",
+              w->exactSize(), ", |R|=", c->r.exactSize(), ")");
+
+    // Private Buffer: entries belonging to this chunk either transfer
+    // to a younger chunk still writing the line, or retire (their
+    // writeback was skipped — the whole point of Section 5.2).
+    for (LineAddr line : c->privBufLines) {
+        bool transferred = false;
+        for (auto &other : chunks) {
+            if (other.get() != c && other->wpriv.contains(line)) {
+                other->privBufLines.push_back(line);
+                transferred = true;
+                break;
+            }
+        }
+        if (!transferred)
+            privBuf.erase(line);
+    }
+
+    // Statically-private data stays coherent: Wpriv goes straight to
+    // the directory for expansion (Section 5.1).
+    if (bprm.statPrivOpt && !c->wpriv.empty()) {
+        auto wp = std::make_shared<Signature>(std::move(c->wpriv));
+        mem.bulkCommit(pid, wp, [] {}, nullptr);
+    }
+
+    chunks.pop_front();
+    consecutiveSquashes = 0;
+    nextChunkTarget = bprm.chunkSize;
+    preArbPending = false;
+
+    if (!w->empty()) {
+        ++committingCount;
+        mem.bulkCommit(pid, w,
+                       [this, w] {
+                           arb.commitDone(w);
+                           --committingCount;
+                           advance();
+                       },
+                       &bstats.invalNodes);
+    }
+    advance();
+}
+
+void
+BulkProcessor::onRemoteWSig(const Signature &wc)
+{
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        Chunk &c = *chunks[i];
+        if (wc.intersects(c.r) || wc.intersects(c.w)) {
+            squashFrom(i);
+            return;
+        }
+    }
+}
+
+void
+BulkProcessor::squashFrom(std::size_t idx)
+{
+    ++nSquashes;
+    ++consecutiveSquashes;
+    TRACE_LOG(TraceCat::Squash, curTick(), name(), ": squashing ",
+              chunks.size() - idx, " chunk(s) from seq ",
+              chunks[idx]->seq, ", rollback to op ",
+              chunks[idx]->startPos, " (", consecutiveSquashes,
+              " consecutive)");
+
+    for (std::size_t j = chunks.size(); j-- > idx;) {
+        Chunk &c = *chunks[j];
+        nWasted += c.execInstrs;
+        mem.l1DiscardSpeculative(pid, c.w);
+        for (LineAddr line : c.privBufLines) {
+            privBuf.erase(line);
+            mem.restoreLine(pid, line);
+        }
+    }
+
+    pos = chunks[idx]->startPos;
+    txnDepth = chunks[idx]->txnDepthAtStart;
+    std::uint64_t cut = chunks[idx]->seq;
+    while (!window.empty() && window.back().chunkSeq >= cut)
+        window.pop_back();
+    chunks.erase(chunks.begin() + static_cast<long>(idx), chunks.end());
+
+    ++epoch;
+    syncBusy = false;
+    gapCharged = false;
+
+    // Forward progress, measure 1: exponentially shrink the chunk.
+    unsigned shift =
+        consecutiveSquashes < 6 ? consecutiveSquashes : 6;
+    unsigned shrunk = bprm.chunkSize >> shift;
+    nextChunkTarget =
+        shrunk > bprm.minChunkSize ? shrunk : bprm.minChunkSize;
+
+    // Forward progress, measure 2: pre-arbitrate (Section 3.3).
+    if (consecutiveSquashes >= bprm.preArbThreshold && !preArbPending) {
+        preArbPending = true;
+        preArbWaiting = true;
+        ++bstats.preArbRequests;
+        arb.preArbitrate(pid, [this] {
+            preArbWaiting = false;
+            advance();
+        });
+    }
+
+    scheduleAdvance(curTick() + prm.squashPenalty);
+}
+
+void
+BulkProcessor::onLineDisplaced(LineAddr line, bool dirty)
+{
+    (void)dirty;
+    // Displacements never squash in BulkSC: the R signature still
+    // covers displaced clean lines (Section 4.1.1). Counted for the
+    // paper's Table 3.
+    for (const auto &c : chunks) {
+        if (c->r.containsExact(line)) {
+            ++bstats.specReadDisplacements;
+            return;
+        }
+    }
+    if (anyLiveWExact(line))
+        ++bstats.specWriteDisplacements;
+}
+
+bool
+BulkProcessor::mayVictimize(LineAddr line)
+{
+    // The BDM forbids displacing lines written speculatively by live
+    // chunks (their only copy is the cache) and lines whose old
+    // version sits in the Private Buffer.
+    return !anyLiveW(line) && !anyLiveWpriv(line);
+}
+
+void
+BulkProcessor::onExternalOwnerFetch(LineAddr line)
+{
+    if (!bprm.dynPrivOpt && !bprm.statPrivOpt)
+        return;
+    for (auto &c : chunks) {
+        if (c->wpriv.contains(line)) {
+            // The predicted-private pattern broke: supply the old
+            // version from the Private Buffer and add the address back
+            // to W so the commit publishes it (Section 5.2).
+            ++bstats.privBufferSupplies;
+            c->w.insert(line);
+            return;
+        }
+    }
+}
+
+void
+BulkProcessor::chargeInstrs(unsigned n)
+{
+    ProcessorBase::chargeInstrs(n);
+    if (chunks.empty() || chunks.back()->endReached)
+        return;
+    Chunk &cur = *chunks.back();
+    cur.execInstrs += n;
+    // Spin loops grow the chunk like any other instructions; when it
+    // reaches its target size it ends and commits even while the
+    // synchronization operation is still in progress. This is what
+    // lets a barrier arriver's count increment become visible while
+    // the processor spins on the generation word (Section 3.3).
+    if (cur.execInstrs >= cur.targetSize && txnDepth == 0) {
+        cur.endReached = true;
+        maybeArbitrate();
+    }
+}
+
+void
+BulkProcessor::withChunk(std::function<void(Chunk &)> fn)
+{
+    Chunk *c = currentChunk();
+    if (c) {
+        fn(*c);
+        return;
+    }
+    eventq.scheduleAfter(10, [this, fn = std::move(fn), e = epoch] {
+        if (epoch != e)
+            return;
+        withChunk(std::move(fn));
+    });
+}
+
+void
+BulkProcessor::syncLoad(Addr addr,
+                        std::function<void(std::uint64_t)> done)
+{
+    withChunk([this, addr, done](Chunk &c) {
+        loadToChunk(c, lineOf(addr, prm.lineBytes), false);
+        auto fin = [this, addr, done, e = epoch] {
+            if (epoch != e)
+                return;
+            // The value binds now, possibly in a later chunk than the
+            // one the access started in (the first chunk may have
+            // committed while a spin was in progress), so the read is
+            // attributed — R signature and verifier log — to the
+            // chunk that is current when it completes.
+            withChunk([this, addr, done](Chunk &now) {
+                loadToChunk(now, lineOf(addr, prm.lineBytes), false);
+                std::uint64_t v = specRead(addr);
+                if (verifier)
+                    now.accessLog.push_back({addr, v, false});
+                done(v);
+            });
+        };
+        auto lat = mem.access(pid, addr, MemCmd::Read, fin);
+        if (lat)
+            eventq.scheduleAfter(*lat, fin);
+    });
+}
+
+void
+BulkProcessor::syncStore(Addr addr, std::uint64_t value,
+                         std::function<void()> done)
+{
+    withChunk([this, addr, value, done](Chunk &c) {
+        storeToChunk(c, addr, false, true, value);
+        // Stores retire immediately (stall-free writes, Section 6).
+        eventq.scheduleAfter(1, [done, this, e = epoch] {
+            if (epoch != e)
+                return;
+            done();
+        });
+    });
+}
+
+void
+BulkProcessor::syncRmw(Addr addr,
+                       std::function<std::uint64_t(std::uint64_t)> modify,
+                       std::function<void(std::uint64_t)> done)
+{
+    // Load + conditional speculative store; the chunk's atomicity
+    // makes the pair atomic (Section 3.3: synchronization operations
+    // execute inside chunks with no fences).
+    syncLoad(addr, [this, addr, modify, done,
+                    e = epoch](std::uint64_t old) {
+        if (epoch != e)
+            return;
+        std::uint64_t next = modify(old);
+        if (next != old) {
+            withChunk([this, addr, next](Chunk &c) {
+                storeToChunk(c, addr, false, true, next);
+            });
+        }
+        done(old);
+    });
+}
+
+void
+BulkProcessor::execIo(std::function<void()> done)
+{
+    // Uncached operations wait for every chunk to commit, execute
+    // non-speculatively, then a fresh chunk starts (Section 4.1.3).
+    if (!chunks.empty() && !chunks.back()->endReached) {
+        chunks.back()->endReached = true;
+        maybeArbitrate();
+    }
+    auto waiter = std::make_shared<std::function<void()>>();
+    *waiter = [this, done, waiter, e = epoch] {
+        if (epoch != e)
+            return;
+        if (chunks.empty() && committingCount == 0) {
+            eventq.scheduleAfter(prm.ioLatency, done);
+            return;
+        }
+        maybeArbitrate();
+        eventq.scheduleAfter(10, [waiter] { (*waiter)(); });
+    };
+    (*waiter)();
+}
+
+} // namespace bulksc

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The BulkSC processor (Sections 3 and 4): dynamically breaks the
+ * instruction stream into chunks that execute speculatively with full
+ * memory-access reordering, summarizes their addresses in R/W
+ * signatures, and commits chunks through the arbiter so that SC is
+ * enforced at chunk granularity.
+ *
+ * Variants (paper Table 2):
+ *  - BSCbase:  this class with default BulkParams;
+ *  - BSCdypvt: dynPrivOpt = true (Wpriv + Private Buffer, Section 5.2);
+ *  - BSCstpvt: statPrivOpt = true (stack refs private, Section 5.1);
+ *  - BSCexact: SignatureConfig::exact = true ("magic" alias-free).
+ */
+
+#ifndef BULKSC_CORE_BULK_PROCESSOR_HH
+#define BULKSC_CORE_BULK_PROCESSOR_HH
+
+#include <deque>
+#include <memory>
+
+#include "core/arbiter.hh"
+#include "core/bdm.hh"
+#include "core/sc_verifier.hh"
+#include "cpu/processor_base.hh"
+
+namespace bulksc {
+
+/** BulkSC-specific configuration (defaults follow Table 2). */
+struct BulkParams
+{
+    /** Target chunk size in dynamic instructions. */
+    unsigned chunkSize = 1000;
+
+    /** Signature pairs / simultaneous chunks per processor. */
+    unsigned maxLiveChunks = 2;
+
+    /** RSig commit bandwidth optimization (Section 4.2.2). */
+    bool rsigOpt = true;
+
+    /** Dynamically-private data optimization (Section 5.2). */
+    bool dynPrivOpt = false;
+
+    /** Statically-private data optimization (Section 5.1). */
+    bool statPrivOpt = false;
+
+    /** Private Buffer capacity, lines. */
+    unsigned privBufferEntries = 24;
+
+    /** Delay before retrying a denied commit request. */
+    Tick commitRetryDelay = 30;
+
+    /** Consecutive squashes before pre-arbitration kicks in. */
+    unsigned preArbThreshold = 6;
+
+    /** Floor for exponential chunk shrinking. */
+    unsigned minChunkSize = 16;
+
+    /** Cycles for a forwarding-log entry to drain into the successor's
+     *  R signature (window of vulnerability, Section 3.2.1). */
+    Tick fwdLogDelay = 3;
+
+    /**
+     * End the current chunk when a synchronization operation is
+     * reached (the paper's Section 4.1.2 notes that checkpoint-
+     * triggering events can double as chunk boundaries). This shrinks
+     * the window during which two critical sections overlap in one
+     * chunk (Figure 6(a)/(b) scenarios) at the cost of smaller
+     * chunks around synchronization.
+     */
+    bool endChunkOnSync = false;
+
+    /** Signature geometry (exact = true gives BSCexact). */
+    SignatureConfig sigCfg;
+};
+
+/** Per-processor BulkSC statistics (feeds Tables 3 and 4). */
+struct BulkStats
+{
+    std::uint64_t commits = 0;
+    std::uint64_t emptyWCommits = 0;
+    std::uint64_t deniedCommits = 0;
+    std::uint64_t abortedGrants = 0;
+    double rSizeSum = 0;     //!< sum of exact R set sizes at commit
+    double wSizeSum = 0;     //!< sum of exact W set sizes at commit
+    double wprivSizeSum = 0; //!< sum of exact Wpriv set sizes at commit
+    std::uint64_t specReadDisplacements = 0;
+    std::uint64_t specWriteDisplacements = 0;
+    std::uint64_t privBufferSupplies = 0;
+    std::uint64_t privBufferOverflows = 0;
+    std::uint64_t baseWritebacks = 0; //!< dirty-line writebacks forced
+                                      //!< by the base protocol
+    unsigned invalNodes = 0;          //!< procs sent W, total
+    std::uint64_t preArbRequests = 0;
+};
+
+/**
+ * A processor that executes chunks all the time (Figure 5).
+ */
+class BulkProcessor : public ProcessorBase
+{
+  public:
+    BulkProcessor(EventQueue &eq, const std::string &name, ProcId pid,
+                  MemorySystem &mem, const Trace &trace,
+                  const CpuParams &cpu_params,
+                  const BulkParams &bulk_params, ArbiterIface &arb);
+
+    // CacheListener
+    void onRemoteWSig(const Signature &w) override;
+    void onLineDisplaced(LineAddr line, bool dirty) override;
+    bool mayVictimize(LineAddr line) override;
+    void onExternalOwnerFetch(LineAddr line) override;
+
+    const BulkStats &bulkStats() const { return bstats; }
+
+    /** Attach an SC conformance checker: committed chunks report
+     *  their access logs to it in commit order. */
+    void setVerifier(ScVerifier *v) { verifier = v; }
+
+    /** Live chunks right now (testing hook). */
+    std::size_t liveChunks() const { return chunks.size(); }
+
+  protected:
+    void advance() override;
+
+    void syncLoad(Addr addr,
+                  std::function<void(std::uint64_t)> done) override;
+    void syncStore(Addr addr, std::uint64_t value,
+                   std::function<void()> done) override;
+    void syncRmw(Addr addr,
+                 std::function<std::uint64_t(std::uint64_t)> modify,
+                 std::function<void(std::uint64_t)> done) override;
+    void execIo(std::function<void()> done) override;
+    void chargeInstrs(unsigned n) override;
+
+  private:
+    struct WinEntry
+    {
+        std::size_t opIdx;
+        std::uint64_t chunkSeq;
+        bool completed;
+    };
+
+    /** Current (youngest, still-open) chunk; opens one if a signature
+     *  pair is free. nullptr when stalled on chunk slots. */
+    Chunk *currentChunk();
+
+    Chunk *findChunk(std::uint64_t seq);
+
+    void finishOp();
+
+    void retireWindow();
+    bool windowFull() const;
+
+    void issueLoad(Chunk &c, const Op &op);
+    void issueStore(Chunk &c, const Op &op);
+
+    /**
+     * Would storing to @p line leave no L1 way for it? True when the
+     * live chunks already hold assoc-1 or more *other* speculative
+     * lines in its set (Section 4.1.2's overflow condition).
+     */
+    bool wouldOverflowSet(LineAddr line) const;
+
+    /** Shared load bookkeeping (R signature, forwarding log). */
+    void loadToChunk(Chunk &c, LineAddr line, bool stack_ref);
+
+    /** Shared store bookkeeping: W / Wpriv classification, Private
+     *  Buffer, base-protocol writeback, presence request, overflow
+     *  check. */
+    void storeToChunk(Chunk &c, Addr addr, bool stack_ref, bool tracked,
+                      std::uint64_t value);
+
+    /** Speculative read: youngest chunk value, else committed. */
+    std::uint64_t specRead(Addr addr) const;
+
+    bool anyLiveW(LineAddr line) const;
+    bool anyLiveWExact(LineAddr line) const;
+    bool anyLiveWpriv(LineAddr line) const;
+
+    void maybeArbitrate();
+    void onGranted(std::uint64_t seq, std::shared_ptr<Signature> w);
+    void squashFrom(std::size_t idx);
+
+    /** Run @p fn with the current chunk, retrying while stalled. */
+    void withChunk(std::function<void(Chunk &)> fn);
+
+    BulkParams bprm;
+    ArbiterIface &arb;
+
+    std::deque<std::unique_ptr<Chunk>> chunks;
+    std::uint64_t nextSeq = 0;
+    unsigned nextChunkTarget;
+    unsigned consecutiveSquashes = 0;
+
+    std::deque<WinEntry> window;
+    Tick fetchAvail = 0;
+    bool gapCharged = false;
+    bool syncBusy = false;
+
+    PrivateBuffer privBuf;
+
+    unsigned committingCount = 0;
+
+    bool preArbPending = false;
+    bool preArbWaiting = false;
+
+    /** Transaction nesting depth (Section 8 extension): while > 0
+     *  the chunk is pinned open so the whole transaction commits
+     *  atomically as one chunk. */
+    unsigned txnDepth = 0;
+
+    ScVerifier *verifier = nullptr;
+
+    BulkStats bstats;
+};
+
+} // namespace bulksc
+
+#endif // BULKSC_CORE_BULK_PROCESSOR_HH

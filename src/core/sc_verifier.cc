@@ -1,0 +1,32 @@
+#include "core/sc_verifier.hh"
+
+#include <sstream>
+
+namespace bulksc {
+
+void
+ScVerifier::chunkCommitted(ProcId p, std::vector<LoggedAccess> log)
+{
+    ++nChunks;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        const LoggedAccess &a = log[i];
+        if (a.isWrite) {
+            state[a.addr] = a.value;
+            ++nWrites;
+            continue;
+        }
+        ++nReads;
+        auto it = state.find(a.addr);
+        std::uint64_t expect = it == state.end() ? 0 : it->second;
+        if (a.value != expect && errorLog.size() < 32) {
+            std::ostringstream os;
+            os << "proc " << p << " chunk " << nChunks << " access "
+               << i << ": load of 0x" << std::hex << a.addr
+               << " observed 0x" << a.value << " but serial replay"
+               << " expects 0x" << expect;
+            errorLog.push_back(os.str());
+        }
+    }
+}
+
+} // namespace bulksc

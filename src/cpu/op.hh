@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The dynamic-instruction-stream representation consumed by processor
+ * models.
+ *
+ * A trace is a per-processor sequence of memory and synchronization
+ * operations; non-memory instructions are folded into each op's `gap`
+ * (the number of non-memory instructions preceding it). Traces are
+ * pre-materialized so that a squashed chunk re-executes exactly the
+ * same dynamic operations, which is what the paper's re-execution
+ * semantics require.
+ */
+
+#ifndef BULKSC_CPU_OP_HH
+#define BULKSC_CPU_OP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bulksc {
+
+/** Kind of a dynamic operation. */
+enum class OpType : std::uint8_t
+{
+    Load,
+    Store,
+    Acquire,       //!< lock acquire (test-and-set with spin)
+    Release,       //!< lock release (store 0)
+    BarrierArrive, //!< increment the barrier count (last flips gen)
+    BarrierWait,   //!< spin until the barrier generation advances
+    Io,            //!< uncached operation (Section 4.1.3)
+    TxBegin,       //!< transaction start (Section 8 extension: on
+                   //!< BulkSC a transaction is a boundary-aligned
+                   //!< chunk; baselines treat it as a no-op)
+    TxEnd,         //!< transaction commit point
+};
+
+/** Sentinel for "this load does not record its value". */
+constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+/** One dynamic operation. */
+struct Op
+{
+    /** Byte address (lock address for Acquire/Release; barrier base
+     *  address for barrier ops — the generation word lives one line
+     *  above the count word). */
+    Addr addr = 0;
+
+    /** Non-memory instructions preceding this op. */
+    std::uint32_t gap = 0;
+
+    /** Barrier index for barrier ops; load-result slot for recording
+     *  loads; kNoSlot otherwise. */
+    std::uint32_t aux = kNoSlot;
+
+    /** For Store ops on tracked addresses: the value written. */
+    std::uint64_t storeValue = 0;
+
+    OpType type = OpType::Load;
+
+    /** Stack/private reference (statically-private candidate, §5.1). */
+    bool stackRef = false;
+
+    /** For tracked Load/Store: participate in value tracking. */
+    bool tracked = false;
+};
+
+/** A per-processor dynamic operation stream. */
+struct Trace
+{
+    std::vector<Op> ops;
+
+    /** cum[i] = instructions (gaps + ops) strictly before op i;
+     *  cum[size()] = total. Built by finalize(). */
+    std::vector<std::uint64_t> cum;
+
+    /** Number of load-result slots referenced by recording loads. */
+    std::uint32_t numSlots = 0;
+
+    /** Build the cumulative instruction index. */
+    void finalize();
+
+    std::uint64_t
+    totalInstrs() const
+    {
+        return cum.empty() ? 0 : cum.back();
+    }
+
+    /** Instructions spanned by ops [i, j). */
+    std::uint64_t
+    instrsBetween(std::size_t i, std::size_t j) const
+    {
+        return cum[j] - cum[i];
+    }
+};
+
+} // namespace bulksc
+
+#endif // BULKSC_CPU_OP_HH

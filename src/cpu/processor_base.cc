@@ -1,0 +1,192 @@
+#include "cpu/processor_base.hh"
+
+#include "sim/logging.hh"
+#include "sim/trace_log.hh"
+
+namespace bulksc {
+
+ProcessorBase::ProcessorBase(EventQueue &eq, const std::string &name,
+                             ProcId pid_, MemorySystem &mem_,
+                             const Trace &trace_, const CpuParams &params)
+    : SimObject(eq, name), pid(pid_), mem(mem_), trace(trace_),
+      prm(params)
+{
+    panic_if(trace.cum.size() != trace.ops.size() + 1,
+             "trace not finalized");
+    results.assign(trace.numSlots, 0);
+    mem.setListener(pid, this);
+}
+
+void
+ProcessorBase::start()
+{
+    scheduleAdvance(curTick());
+}
+
+void
+ProcessorBase::scheduleAdvance(Tick when)
+{
+    if (when < curTick())
+        when = curTick();
+    if (advancePending && advanceAt <= when)
+        return;
+    advancePending = true;
+    advanceAt = when;
+    eventq.schedule(when, [this, when] {
+        if (advancePending && advanceAt == when)
+            advancePending = false;
+        if (!finishedFlag)
+            advance();
+    });
+}
+
+Tick
+ProcessorBase::fetchAdvance(std::uint32_t instrs)
+{
+    if (fetchTick < curTick())
+        fetchTick = curTick();
+    std::uint64_t total = instrs + fetchCarry;
+    fetchTick += total / prm.issueWidth;
+    fetchCarry = static_cast<std::uint32_t>(total % prm.issueWidth);
+    return fetchTick;
+}
+
+void
+ProcessorBase::markFinished()
+{
+    if (finishedFlag)
+        return;
+    finishedFlag = true;
+    finishTick_ = curTick() > fetchTick ? curTick() : fetchTick;
+    if (onFinished)
+        onFinished();
+}
+
+void
+ProcessorBase::chargeInstrs(unsigned n)
+{
+    nSpin += n;
+    nRetired += n;
+    fetchAdvance(n);
+}
+
+void
+ProcessorBase::execIo(std::function<void()> done)
+{
+    eventq.scheduleAfter(prm.ioLatency, std::move(done));
+}
+
+void
+ProcessorBase::execSync(const Op &op, std::function<void()> done)
+{
+    // A squash (epoch bump) abandons any in-flight sync chain; the
+    // re-executed op starts a fresh one.
+    const std::uint64_t e = epoch;
+    switch (op.type) {
+      case OpType::Acquire: {
+        // Test-and-set with exponential backoff; atomicity comes from
+        // the model's syncRmw primitive.
+        auto attempt = std::make_shared<std::function<void()>>();
+        auto attempts = std::make_shared<unsigned>(0);
+        Addr lock = op.addr;
+        *attempt = [this, e, lock, done, attempt, attempts] {
+            if (epoch != e)
+                return;
+            syncRmw(
+                lock,
+                [](std::uint64_t v) {
+                    return v == 0 ? std::uint64_t{1} : v;
+                },
+                [this, e, done, attempt,
+                 attempts](std::uint64_t old) {
+                    if (epoch != e)
+                        return;
+                    if (old == 0) {
+                        done();
+                        return;
+                    }
+                    ++*attempts;
+                    chargeInstrs(prm.spinLoopInstrs);
+                    unsigned factor =
+                        *attempts < 8 ? *attempts : 8;
+                    eventq.scheduleAfter(prm.spinPoll * factor,
+                                         [attempt] { (*attempt)(); });
+                });
+        };
+        (*attempt)();
+        return;
+      }
+      case OpType::Release:
+        syncStore(op.addr, 0, std::move(done));
+        return;
+      case OpType::BarrierArrive: {
+        // Centralized barrier: count word at op.addr, generation word
+        // one line above. The last arriver resets the count and
+        // publishes generation = barrier index + 1 (idempotent under
+        // chunk re-execution).
+        Addr count_addr = op.addr;
+        Addr gen_addr = op.addr + prm.lineBytes;
+        std::uint64_t gen_val = op.aux + 1;
+        unsigned total = prm.numBarrierProcs;
+        syncRmw(
+            count_addr,
+            [](std::uint64_t v) { return v + 1; },
+            [this, e, count_addr, gen_addr, gen_val, total,
+             done](std::uint64_t old) {
+                if (epoch != e)
+                    return;
+                TRACE_LOG(TraceCat::Sync, curTick(), name(),
+                          ": barrier arrive, count ", old, " -> ",
+                          old + 1);
+                if (old + 1 == total) {
+                    syncStore(count_addr, 0,
+                              [this, e, gen_addr, gen_val, done] {
+                                  if (epoch != e)
+                                      return;
+                                  syncStore(gen_addr, gen_val, done);
+                              });
+                } else {
+                    done();
+                }
+            });
+        return;
+      }
+      case OpType::BarrierWait: {
+        Addr gen_addr = op.addr + prm.lineBytes;
+        std::uint64_t want = op.aux + 1;
+        auto poll = std::make_shared<std::function<void()>>();
+        *poll = [this, e, gen_addr, want, done, poll] {
+            if (epoch != e)
+                return;
+            syncLoad(gen_addr,
+                     [this, e, want, done, poll](std::uint64_t v) {
+                         if (epoch != e)
+                             return;
+                         if (v >= want) {
+                             done();
+                             return;
+                         }
+                         chargeInstrs(prm.spinLoopInstrs);
+                         eventq.scheduleAfter(prm.spinPoll,
+                                              [poll] { (*poll)(); });
+                     });
+        };
+        (*poll)();
+        return;
+      }
+      case OpType::Io:
+        execIo(std::move(done));
+        return;
+      case OpType::TxBegin:
+      case OpType::TxEnd:
+        // Baselines have no transactional support: the markers are
+        // no-ops (the BulkSC models intercept them before execSync
+        // and align chunk boundaries to them).
+        done();
+        return;
+      default:
+        panic("execSync called with non-sync op");
+    }
+}
+
+} // namespace bulksc

@@ -1,0 +1,157 @@
+#include "cpu/sc_processor.hh"
+
+namespace bulksc {
+
+ScProcessor::ScProcessor(EventQueue &eq, const std::string &name,
+                         ProcId pid, MemorySystem &mem,
+                         const Trace &trace, const CpuParams &params)
+    : ProcessorBase(eq, name, pid, mem, trace, params)
+{}
+
+void
+ScProcessor::issuePrefetches()
+{
+    if (prefetchPos < pos)
+        prefetchPos = pos;
+    while (prefetchPos < trace.ops.size() &&
+           trace.instrsBetween(pos, prefetchPos) < prm.robInstrs) {
+        const Op &op = trace.ops[prefetchPos];
+        if (op.type == OpType::Load) {
+            mem.access(pid, op.addr, MemCmd::Prefetch, nullptr);
+        } else if (op.type == OpType::Store) {
+            mem.access(pid, op.addr, MemCmd::PrefetchEx, nullptr);
+        }
+        ++prefetchPos;
+    }
+}
+
+void
+ScProcessor::completeOp(const Op &op)
+{
+    if (op.type == OpType::Load) {
+        if (op.tracked || op.aux != kNoSlot)
+            recordLoad(op, mem.readValue(op.addr));
+    } else if (op.type == OpType::Store) {
+        if (op.tracked)
+            mem.writeValue(op.addr, op.storeValue);
+    }
+    nRetired += op.gap + 1;
+    ++pos;
+    gapCharged = false;
+}
+
+void
+ScProcessor::advance()
+{
+    if (busy)
+        return;
+    while (true) {
+        if (pos >= trace.ops.size()) {
+            markFinished();
+            return;
+        }
+        issuePrefetches();
+
+        const Op &op = trace.ops[pos];
+        if (!gapCharged) {
+            fetchAvail = fetchAdvance(op.gap + 1);
+            gapCharged = true;
+        }
+
+        Tick start = curTick();
+        if (fetchAvail > start)
+            start = fetchAvail;
+        if (performTick > start)
+            start = performTick;
+
+        if (start > curTick() + prm.batchWindow) {
+            scheduleAdvance(start);
+            return;
+        }
+
+        if (op.type != OpType::Load && op.type != OpType::Store) {
+            // Synchronization executes at a precise time, in order.
+            if (start > curTick()) {
+                scheduleAdvance(start);
+                return;
+            }
+            busy = true;
+            execSync(op, [this, &op] {
+                busy = false;
+                performTick = curTick();
+                completeOp(op);
+                advance();
+            });
+            return;
+        }
+
+        MemCmd cmd =
+            op.type == OpType::Load ? MemCmd::Read : MemCmd::ReadEx;
+        auto lat = mem.access(pid, op.addr, cmd, [this] {
+            // Demand miss filled: perform now.
+            busy = false;
+            performTick = curTick() + 1;
+            completeOp(trace.ops[pos]);
+            advance();
+        });
+        if (!lat) {
+            busy = true;
+            return;
+        }
+        // Requirement (i) of Section 2.1: the next memory operation
+        // waits for the previous one to complete, so even L1 hits
+        // serialize at their full round-trip latency. Prefetching
+        // turns most misses into hits but cannot remove this chain.
+        performTick = start + *lat;
+        completeOp(op);
+    }
+}
+
+void
+ScProcessor::syncLoad(Addr addr, std::function<void(std::uint64_t)> done)
+{
+    auto lat = mem.access(pid, addr, MemCmd::Read, [this, addr, done] {
+        done(mem.readValue(addr));
+    });
+    if (lat) {
+        eventq.scheduleAfter(*lat, [this, addr, done] {
+            done(mem.readValue(addr));
+        });
+    }
+}
+
+void
+ScProcessor::syncStore(Addr addr, std::uint64_t value,
+                       std::function<void()> done)
+{
+    auto lat =
+        mem.access(pid, addr, MemCmd::ReadEx, [this, addr, value, done] {
+            mem.writeValue(addr, value);
+            done();
+        });
+    if (lat) {
+        eventq.scheduleAfter(*lat, [this, addr, value, done] {
+            mem.writeValue(addr, value);
+            done();
+        });
+    }
+}
+
+void
+ScProcessor::syncRmw(Addr addr,
+                     std::function<std::uint64_t(std::uint64_t)> modify,
+                     std::function<void(std::uint64_t)> done)
+{
+    auto fin = [this, addr, modify, done] {
+        std::uint64_t old = mem.readValue(addr);
+        std::uint64_t next = modify(old);
+        if (next != old)
+            mem.writeValue(addr, next);
+        done(old);
+    };
+    auto lat = mem.access(pid, addr, MemCmd::ReadEx, fin);
+    if (lat)
+        eventq.scheduleAfter(*lat, fin);
+}
+
+} // namespace bulksc

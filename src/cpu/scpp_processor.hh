@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The SC++ baseline (Gniady, Falsafi, Vijaykumar [15]): loads and
+ * stores overlap and reorder like RC, but every operation performed
+ * while an older one is incomplete is speculative and tracked in the
+ * Speculative History Queue (SHiQ). An incoming invalidation or a cache
+ * displacement that hits a speculatively performed access is an SC
+ * violation: the processor rolls back to that operation and
+ * re-executes.
+ *
+ * With a large SHiQ (the paper's configuration uses 2K entries) SC++
+ * performs nearly as fast as RC; a small SHiQ (SC++lite-style) degrades
+ * toward SC — exposed here as a constructor parameter for ablations.
+ */
+
+#ifndef BULKSC_CPU_SCPP_PROCESSOR_HH
+#define BULKSC_CPU_SCPP_PROCESSOR_HH
+
+#include "cpu/rc_processor.hh"
+
+namespace bulksc {
+
+/** SC++ processor: RC-like overlap plus SHiQ-based violation repair. */
+class ScppProcessor : public RcProcessor
+{
+  public:
+    ScppProcessor(EventQueue &eq, const std::string &name, ProcId pid,
+                  MemorySystem &mem, const Trace &trace,
+                  const CpuParams &params, unsigned shiq_entries = 2048);
+
+    void onExternalInval(LineAddr line) override;
+    void onLineDisplaced(LineAddr line, bool dirty) override;
+
+    std::uint64_t shiqStalls() const { return nShiqStalls; }
+
+  protected:
+    /** Adds the SHiQ capacity limit: issue stalls while the number of
+     *  speculatively performed (completed but not SC-retirable) ops
+     *  reaches the SHiQ size. A small SHiQ degrades toward SC —
+     *  SC++lite-style. */
+    bool windowFull() const override;
+
+  private:
+    /** Roll back to the oldest speculative access of @p line. */
+    void maybeSquash(LineAddr line);
+
+    unsigned shiqEntries;
+    mutable std::uint64_t nShiqStalls = 0;
+};
+
+} // namespace bulksc
+
+#endif // BULKSC_CPU_SCPP_PROCESSOR_HH

@@ -1,0 +1,25 @@
+#include "cpu/op.hh"
+
+namespace bulksc {
+
+void
+Trace::finalize()
+{
+    cum.resize(ops.size() + 1);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        cum[i] = acc;
+        acc += ops[i].gap + 1;
+    }
+    cum[ops.size()] = acc;
+
+    numSlots = 0;
+    for (const Op &op : ops) {
+        if (op.type == OpType::Load && op.aux != kNoSlot &&
+            op.aux + 1 > numSlots) {
+            numSlots = op.aux + 1;
+        }
+    }
+}
+
+} // namespace bulksc

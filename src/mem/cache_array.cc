@@ -1,0 +1,152 @@
+#include "mem/cache_array.hh"
+
+namespace bulksc {
+
+CacheArray::CacheArray(const CacheGeometry &g)
+    : geom(g)
+{
+    geom.validate();
+    lines.resize(geom.numLines());
+}
+
+CacheLine *
+CacheArray::findWay(LineAddr line)
+{
+    std::uint32_t set = geom.setIndex(line);
+    CacheLine *base = &lines[std::size_t{set} * geom.assoc];
+    for (unsigned w = 0; w < geom.assoc; ++w) {
+        if (base[w].valid() && base[w].line == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+CacheLine *
+CacheArray::lookup(LineAddr line)
+{
+    CacheLine *entry = findWay(line);
+    if (entry) {
+        entry->lruStamp = ++lruCounter;
+        ++nHits;
+    } else {
+        ++nMisses;
+    }
+    return entry;
+}
+
+const CacheLine *
+CacheArray::peek(LineAddr line) const
+{
+    std::uint32_t set = geom.setIndex(line);
+    const CacheLine *base = &lines[std::size_t{set} * geom.assoc];
+    for (unsigned w = 0; w < geom.assoc; ++w) {
+        if (base[w].valid() && base[w].line == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+CacheLine *
+CacheArray::insert(LineAddr line, LineState state,
+                   const VictimFilter &filter,
+                   std::optional<Victim> &victim)
+{
+    victim.reset();
+    std::uint32_t set = geom.setIndex(line);
+    CacheLine *base = &lines[std::size_t{set} * geom.assoc];
+
+    // Reuse the existing way if the line is already present.
+    CacheLine *target = nullptr;
+    for (unsigned w = 0; w < geom.assoc; ++w) {
+        if (base[w].valid() && base[w].line == line) {
+            target = &base[w];
+            break;
+        }
+    }
+
+    // Otherwise take an invalid way, or the LRU way that may be evicted.
+    if (!target) {
+        for (unsigned w = 0; w < geom.assoc; ++w) {
+            if (!base[w].valid()) {
+                target = &base[w];
+                break;
+            }
+        }
+    }
+    if (!target) {
+        // Clean-first LRU: displacing a clean line costs only a
+        // refetch, while a dirty victim needs a writeback — so prefer
+        // the LRU clean line and fall back to the LRU dirty one.
+        CacheLine *lru_clean = nullptr;
+        CacheLine *lru_dirty = nullptr;
+        for (unsigned w = 0; w < geom.assoc; ++w) {
+            if (filter && !filter(base[w].line))
+                continue;
+            if (base[w].state == LineState::Dirty) {
+                if (!lru_dirty ||
+                    base[w].lruStamp < lru_dirty->lruStamp)
+                    lru_dirty = &base[w];
+            } else {
+                if (!lru_clean ||
+                    base[w].lruStamp < lru_clean->lruStamp)
+                    lru_clean = &base[w];
+            }
+        }
+        CacheLine *lru = lru_clean ? lru_clean : lru_dirty;
+        if (!lru)
+            return nullptr; // every way vetoed
+        victim = Victim{lru->line, lru->state == LineState::Dirty};
+        target = lru;
+    }
+
+    target->line = line;
+    target->state = state;
+    target->lruStamp = ++lruCounter;
+    return target;
+}
+
+LineState
+CacheArray::invalidate(LineAddr line)
+{
+    CacheLine *entry = findWay(line);
+    if (!entry)
+        return LineState::Invalid;
+    LineState prev = entry->state;
+    entry->state = LineState::Invalid;
+    return prev;
+}
+
+unsigned
+CacheArray::countVetoed(LineAddr line, const VictimFilter &filter) const
+{
+    std::uint32_t set = geom.setIndex(line);
+    const CacheLine *base = &lines[std::size_t{set} * geom.assoc];
+    unsigned vetoed = 0;
+    for (unsigned w = 0; w < geom.assoc; ++w) {
+        if (base[w].valid() && filter && !filter(base[w].line))
+            ++vetoed;
+    }
+    return vetoed;
+}
+
+void
+CacheArray::forEachInSet(std::uint32_t set_idx,
+                         const std::function<void(CacheLine &)> &fn)
+{
+    CacheLine *base = &lines[std::size_t{set_idx} * geom.assoc];
+    for (unsigned w = 0; w < geom.assoc; ++w) {
+        if (base[w].valid())
+            fn(base[w]);
+    }
+}
+
+void
+CacheArray::forEach(const std::function<void(CacheLine &)> &fn)
+{
+    for (auto &l : lines) {
+        if (l.valid())
+            fn(l);
+    }
+}
+
+} // namespace bulksc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cache geometry description shared by tag arrays, the directory's
+ * DirBDM decode function, and chunk overflow checks.
+ */
+
+#ifndef BULKSC_MEM_CACHE_GEOMETRY_HH
+#define BULKSC_MEM_CACHE_GEOMETRY_HH
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace bulksc {
+
+/** Size/associativity/line-size triple describing a cache. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = kDefaultLineBytes;
+
+    std::uint64_t
+    numLines() const
+    {
+        return sizeBytes / lineBytes;
+    }
+
+    std::uint64_t
+    numSets() const
+    {
+        return numLines() / assoc;
+    }
+
+    /** Set index of a line address. */
+    std::uint32_t
+    setIndex(LineAddr line) const
+    {
+        return static_cast<std::uint32_t>(line % numSets());
+    }
+
+    void
+    validate() const
+    {
+        fatal_if(!isPowerOf2(lineBytes), "line size must be power of 2");
+        fatal_if(!isPowerOf2(numSets()), "set count must be power of 2");
+        fatal_if(assoc == 0, "associativity must be non-zero");
+    }
+};
+
+} // namespace bulksc
+
+#endif // BULKSC_MEM_CACHE_GEOMETRY_HH

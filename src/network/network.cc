@@ -1,0 +1,78 @@
+#include "network/network.hh"
+
+#include <numeric>
+
+namespace bulksc {
+
+const char *
+trafficClassName(TrafficClass c)
+{
+    switch (c) {
+      case TrafficClass::DataRdWr:
+        return "RdWr";
+      case TrafficClass::RdSig:
+        return "RdSig";
+      case TrafficClass::WrSig:
+        return "WrSig";
+      case TrafficClass::Inval:
+        return "Inv";
+      case TrafficClass::Other:
+        return "Other";
+      default:
+        return "?";
+    }
+}
+
+Network::Network(EventQueue &eq, const NetworkConfig &c)
+    : SimObject(eq, "network"), cfg(c)
+{}
+
+void
+Network::send(NodeId src, NodeId dst, TrafficClass cls, unsigned bits,
+              EventQueue::Callback deliver)
+{
+    (void)src;
+    classBits[static_cast<unsigned>(cls)] += bits + headerBits;
+    ++msgCount;
+
+    if (!cfg.modelContention) {
+        eventq.scheduleAfter(latencyFor(bits), std::move(deliver));
+        return;
+    }
+
+    // Serialize through the destination's input link: the message
+    // occupies the link for its serialization time after any message
+    // already queued there.
+    unsigned total = bits + headerBits;
+    Tick ser = (total + cfg.linkBitsPerCycle - 1) /
+               cfg.linkBitsPerCycle;
+    Tick arrive = curTick() + cfg.hopLatency;
+    Tick &busy = linkBusyUntil[dst];
+    Tick start = arrive > busy ? arrive : busy;
+    queuedCycles += start - arrive;
+    busy = start + ser;
+    eventq.schedule(busy, std::move(deliver));
+}
+
+std::uint64_t
+Network::bitsSent(TrafficClass c) const
+{
+    return classBits[static_cast<unsigned>(c)];
+}
+
+std::uint64_t
+Network::totalBits() const
+{
+    return std::accumulate(classBits.begin(), classBits.end(),
+                           std::uint64_t{0});
+}
+
+void
+Network::resetStats()
+{
+    classBits.fill(0);
+    msgCount = 0;
+    queuedCycles = 0;
+}
+
+} // namespace bulksc

@@ -1,0 +1,101 @@
+#include "signature/codec.hh"
+
+#include "sim/logging.hh"
+
+namespace bulksc {
+
+namespace {
+
+/** Append @p nbits of @p value to the stream at bit position @p pos. */
+void
+putBits(std::vector<std::uint8_t> &out, std::size_t &pos,
+        std::uint32_t value, unsigned nbits)
+{
+    for (unsigned i = 0; i < nbits; ++i) {
+        if (pos / 8 >= out.size())
+            out.push_back(0);
+        if ((value >> i) & 1)
+            out[pos / 8] |= static_cast<std::uint8_t>(1u << (pos % 8));
+        ++pos;
+    }
+}
+
+std::uint32_t
+getBits(const std::vector<std::uint8_t> &in, std::size_t &pos,
+        unsigned nbits)
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < nbits; ++i) {
+        fatal_if(pos / 8 >= in.size(), "truncated signature stream");
+        if (in[pos / 8] & (1u << (pos % 8)))
+            v |= 1u << i;
+        ++pos;
+    }
+    return v;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeSignature(const Signature &sig)
+{
+    const SignatureConfig &cfg = sig.config();
+    const unsigned bank_bits = cfg.bitsPerBank();
+    const unsigned idx_bits = floorLog2(bank_bits);
+
+    std::vector<std::uint8_t> out;
+    std::size_t pos = 0;
+
+    for (unsigned b = 0; b < cfg.numBanks; ++b) {
+        std::vector<std::uint32_t> set;
+        for (std::uint32_t i = 0; i < bank_bits; ++i) {
+            if (sig.bitSet(b, i))
+                set.push_back(i);
+        }
+        bool sparse = set.size() < 128 &&
+                      8 + set.size() * idx_bits < 8 + bank_bits;
+        if (sparse) {
+            putBits(out, pos, static_cast<std::uint32_t>(set.size()),
+                    7);
+            putBits(out, pos, 0, 1); // format bit: sparse
+            for (std::uint32_t idx : set)
+                putBits(out, pos, idx, idx_bits);
+        } else {
+            putBits(out, pos, 0, 7);
+            putBits(out, pos, 1, 1); // format bit: bitmap
+            for (std::uint32_t i = 0; i < bank_bits; ++i)
+                putBits(out, pos, sig.bitSet(b, i) ? 1 : 0, 1);
+        }
+    }
+    return out;
+}
+
+Signature
+decodeSignature(const std::vector<std::uint8_t> &bytes,
+                const SignatureConfig &cfg)
+{
+    fatal_if(cfg.exact,
+             "exact signatures are a simulation fiction and have no "
+             "wire format");
+    Signature sig(cfg);
+    const unsigned bank_bits = cfg.bitsPerBank();
+    const unsigned idx_bits = floorLog2(bank_bits);
+    std::size_t pos = 0;
+
+    for (unsigned b = 0; b < cfg.numBanks; ++b) {
+        std::uint32_t count = getBits(bytes, pos, 7);
+        bool bitmap = getBits(bytes, pos, 1) != 0;
+        if (bitmap) {
+            for (std::uint32_t i = 0; i < bank_bits; ++i) {
+                if (getBits(bytes, pos, 1))
+                    sig.setBit(b, i);
+            }
+        } else {
+            for (std::uint32_t i = 0; i < count; ++i)
+                sig.setBit(b, getBits(bytes, pos, idx_bits));
+        }
+    }
+    return sig;
+}
+
+} // namespace bulksc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A real wire codec for signatures.
+ *
+ * The paper states that ~2 Kbit signatures are compressed to a few
+ * hundred bits when communicated (Section 2.2). The simulator's
+ * traffic accounting uses Signature::compressedBits() as the size
+ * model; this codec actually produces (and parses) a byte stream of
+ * that size, validating the model and giving a concrete format a
+ * hardware or software implementation could use:
+ *
+ *   per bank, a 1-byte header:
+ *     bit 7      — format: 0 = sparse index list, 1 = raw bitmap
+ *     bits 0..6  — sparse: number of indices (0..127)
+ *   followed by either ceil(pop * idx_bits / 8) bytes of packed
+ *   indices (little-endian bit order) or bitsPerBank/8 bitmap bytes.
+ *
+ * Only the Bloom bits travel; the exact mirror is simulator metadata
+ * and is NOT encoded — a decoded signature answers membership and
+ * intersection queries identically to the original's Bloom behaviour,
+ * which is all remote agents (directories, caches) ever use.
+ */
+
+#ifndef BULKSC_SIGNATURE_CODEC_HH
+#define BULKSC_SIGNATURE_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "signature/signature.hh"
+
+namespace bulksc {
+
+/** Encode @p sig's Bloom banks into a byte stream. */
+std::vector<std::uint8_t> encodeSignature(const Signature &sig);
+
+/**
+ * Decode a byte stream produced by encodeSignature().
+ *
+ * @param bytes The encoded stream.
+ * @param cfg Geometry the stream was encoded with (must match).
+ * @return a signature whose Bloom bits equal the original's.
+ */
+Signature decodeSignature(const std::vector<std::uint8_t> &bytes,
+                          const SignatureConfig &cfg);
+
+} // namespace bulksc
+
+#endif // BULKSC_SIGNATURE_CODEC_HH

@@ -1,0 +1,253 @@
+#include "signature/signature.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace bulksc {
+
+Signature::Signature(const SignatureConfig &c)
+    : cfg(c)
+{
+    panic_if(cfg.numBanks == 0, "signature needs at least one bank");
+    panic_if(cfg.totalBits % cfg.numBanks != 0,
+             "totalBits must be divisible by numBanks");
+    panic_if(!isPowerOf2(cfg.bitsPerBank()),
+             "bits per bank must be a power of two");
+    wordsPerBank = (cfg.bitsPerBank() + 63) / 64;
+    bits.assign(std::size_t{cfg.numBanks} * wordsPerBank, 0);
+
+    // Build the bit permutation (Figure 2(a)): the line address bits
+    // are shuffled once, then sliced into one index per bank. Bank 0
+    // keeps the identity low-order bits so the decode operation can
+    // map set bits back to cache sets. Because banks are *slices of
+    // one permuted address* — not independent hashes — structured
+    // address sets alias realistically, as in the paper's evaluation.
+    const unsigned idx_bits = floorLog2(cfg.bitsPerBank());
+    const unsigned total_src = idx_bits * cfg.numBanks;
+    permute.resize(total_src);
+    for (unsigned i = 0; i < total_src; ++i)
+        permute[i] = static_cast<std::uint8_t>(i);
+    Rng rng(cfg.hashSeed);
+    for (unsigned i = total_src - 1; i > idx_bits; --i) {
+        // Leave bank 0's slice (positions 0..idx_bits-1) in place.
+        unsigned j = static_cast<unsigned>(
+            idx_bits + rng.below(i - idx_bits + 1));
+        std::swap(permute[i], permute[j]);
+    }
+}
+
+std::uint32_t
+Signature::bankIndex(unsigned bank, LineAddr line) const
+{
+    const unsigned idx_bits = floorLog2(cfg.bitsPerBank());
+    const std::uint32_t mask = cfg.bitsPerBank() - 1;
+    // The hardware hashes a finite slice of the line address (30 bits
+    // here, a 32 GB reach); higher-order bits are not covered —
+    // address sets that differ only there are indistinguishable to
+    // the signature (one source of the paper's aliasing).
+    auto slice = [&](unsigned b) {
+        std::uint32_t idx = 0;
+        for (unsigned j = 0; j < idx_bits; ++j) {
+            unsigned src = permute[b * idx_bits + j] % 30;
+            idx |= static_cast<std::uint32_t>((line >> src) & 1) << j;
+        }
+        return idx;
+    };
+    // The last bank XOR-folds two slices: well distributed for diverse
+    // address mixes, but still correlated for strided/structured sets
+    // — which is what produces the realistic signature aliasing of the
+    // paper's evaluation (radix most of all).
+    if (bank == cfg.numBanks - 1 && cfg.numBanks >= 3) {
+        std::uint32_t a = slice(bank);
+        std::uint32_t b = slice(1);
+        return (a ^ ((b << 4) | (b >> (idx_bits - 4)))) & mask;
+    }
+    return slice(bank);
+}
+
+std::uint32_t
+Signature::bank0Index(LineAddr line) const
+{
+    return bankIndex(0, line);
+}
+
+void
+Signature::insert(LineAddr line)
+{
+    exactSet.insert(line);
+    for (unsigned b = 0; b < cfg.numBanks; ++b) {
+        std::uint32_t idx = bankIndex(b, line);
+        bits[std::size_t{b} * wordsPerBank + idx / 64] |=
+            std::uint64_t{1} << (idx % 64);
+    }
+}
+
+bool
+Signature::contains(LineAddr line) const
+{
+    if (cfg.exact)
+        return containsExact(line);
+    for (unsigned b = 0; b < cfg.numBanks; ++b) {
+        std::uint32_t idx = bankIndex(b, line);
+        if (!(bits[std::size_t{b} * wordsPerBank + idx / 64] &
+              (std::uint64_t{1} << (idx % 64)))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+Signature::containsExact(LineAddr line) const
+{
+    return exactSet.count(line) != 0;
+}
+
+bool
+Signature::bloomEmpty() const
+{
+    // Membership requires a hit in every bank, so the signature is
+    // definitely empty as soon as one bank is all-zero.
+    for (unsigned b = 0; b < cfg.numBanks; ++b) {
+        bool any = false;
+        for (unsigned w = 0; w < wordsPerBank; ++w) {
+            if (bits[std::size_t{b} * wordsPerBank + w]) {
+                any = true;
+                break;
+            }
+        }
+        if (!any)
+            return true;
+    }
+    return false;
+}
+
+bool
+Signature::empty() const
+{
+    if (cfg.exact)
+        return exactSet.empty();
+    return bloomEmpty();
+}
+
+bool
+Signature::intersects(const Signature &other) const
+{
+    if (cfg.exact || other.cfg.exact)
+        return intersectsExact(other);
+    panic_if(cfg.totalBits != other.cfg.totalBits ||
+                 cfg.numBanks != other.cfg.numBanks,
+             "intersecting signatures of different geometry");
+    // Banked AND; the intersection is definitely empty iff some bank
+    // ANDs to all-zero.
+    for (unsigned b = 0; b < cfg.numBanks; ++b) {
+        bool any = false;
+        for (unsigned w = 0; w < wordsPerBank; ++w) {
+            std::size_t i = std::size_t{b} * wordsPerBank + w;
+            if (bits[i] & other.bits[i]) {
+                any = true;
+                break;
+            }
+        }
+        if (!any)
+            return false;
+    }
+    return true;
+}
+
+bool
+Signature::intersectsExact(const Signature &other) const
+{
+    const auto &small =
+        exactSet.size() <= other.exactSet.size() ? exactSet
+                                                 : other.exactSet;
+    const auto &big =
+        exactSet.size() <= other.exactSet.size() ? other.exactSet
+                                                 : exactSet;
+    for (LineAddr l : small) {
+        if (big.count(l))
+            return true;
+    }
+    return false;
+}
+
+void
+Signature::unionWith(const Signature &other)
+{
+    panic_if(cfg.totalBits != other.cfg.totalBits ||
+                 cfg.numBanks != other.cfg.numBanks,
+             "uniting signatures of different geometry");
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        bits[i] |= other.bits[i];
+    exactSet.insert(other.exactSet.begin(), other.exactSet.end());
+}
+
+void
+Signature::clear()
+{
+    std::fill(bits.begin(), bits.end(), 0);
+    exactSet.clear();
+}
+
+std::vector<std::uint32_t>
+Signature::decodeBank0() const
+{
+    std::vector<std::uint32_t> out;
+    for (unsigned w = 0; w < wordsPerBank; ++w) {
+        std::uint64_t word = bits[w];
+        while (word) {
+            unsigned bit = std::countr_zero(word);
+            out.push_back(w * 64 + bit);
+            word &= word - 1;
+        }
+    }
+    return out;
+}
+
+bool
+Signature::bitSet(unsigned bank, std::uint32_t idx) const
+{
+    return bits[std::size_t{bank} * wordsPerBank + idx / 64] &
+           (std::uint64_t{1} << (idx % 64));
+}
+
+void
+Signature::setBit(unsigned bank, std::uint32_t idx)
+{
+    bits[std::size_t{bank} * wordsPerBank + idx / 64] |=
+        std::uint64_t{1} << (idx % 64);
+}
+
+unsigned
+Signature::popCount() const
+{
+    unsigned n = 0;
+    for (std::uint64_t w : bits)
+        n += std::popcount(w);
+    return n;
+}
+
+unsigned
+Signature::compressedBits() const
+{
+    // Per bank: choose the smaller of the raw bitmap and a sparse list
+    // of log2(bitsPerBank)-bit indices. One byte of header per bank
+    // for the format tag and count — the exact format implemented by
+    // signature/codec.hh (the 7-bit count field caps sparse encoding
+    // at 127 indices).
+    const unsigned idx_bits = floorLog2(cfg.bitsPerBank());
+    unsigned total = 0;
+    for (unsigned b = 0; b < cfg.numBanks; ++b) {
+        unsigned pop = 0;
+        for (unsigned w = 0; w < wordsPerBank; ++w)
+            pop += std::popcount(bits[std::size_t{b} * wordsPerBank + w]);
+        unsigned sparse = 8 + pop * idx_bits;
+        unsigned bitmap = 8 + cfg.bitsPerBank();
+        total += (pop < 128 && sparse < bitmap) ? sparse : bitmap;
+    }
+    return total;
+}
+
+} // namespace bulksc

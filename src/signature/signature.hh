@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Bulk-style address signatures (Ceze et al., "Bulk Disambiguation of
+ * Speculative Threads in Multiprocessors", ISCA 2006), as used by BulkSC.
+ *
+ * A signature is a superset encoding of a set of cache-line addresses. It
+ * is organized as a partitioned Bloom filter: the (permuted) line address
+ * is sliced into one index per bank and the corresponding bit is set in
+ * each bank. An address is a member iff its bit is set in every bank.
+ *
+ * Bank 0 is indexed by the untouched low-order bits of the line address so
+ * the decode (delta) operation can recover the set of cache sets that may
+ * hold members — this is what makes bulk invalidation and directory
+ * signature expansion possible without walking the whole cache.
+ *
+ * Every signature also carries an exact mirror set. In `exact` mode
+ * (the paper's BSCexact "magic" alias-free signature) the mirror drives
+ * behaviour; in Bloom mode it is simulation metadata used only for
+ * statistics such as true set sizes and aliasing rates.
+ */
+
+#ifndef BULKSC_SIGNATURE_SIGNATURE_HH
+#define BULKSC_SIGNATURE_SIGNATURE_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bulksc {
+
+/** Configuration for signature geometry and behaviour. */
+struct SignatureConfig
+{
+    /** Total signature bits (paper: ~2 Kbit). */
+    unsigned totalBits = 2048;
+
+    /** Number of Bloom banks (fields); totalBits / numBanks each. */
+    unsigned numBanks = 4;
+
+    /** If true, behave as an alias-free (exact) signature: BSCexact. */
+    bool exact = false;
+
+    /** Seed selecting the per-bank hash permutations. */
+    std::uint64_t hashSeed = 0xb01d'5c5cULL;
+
+    unsigned bitsPerBank() const { return totalBits / numBanks; }
+};
+
+/**
+ * An address-set signature supporting the primitive bulk operations of
+ * the paper's Figure 2: intersection, union, emptiness, membership, and
+ * decoding into cache sets.
+ */
+class Signature
+{
+  public:
+    explicit Signature(const SignatureConfig &cfg = SignatureConfig{});
+
+    /** Insert a line address (the "accumulate" operation). */
+    void insert(LineAddr line);
+
+    /**
+     * Membership test (the ∈ operation).
+     *
+     * In Bloom mode this may report false positives but never false
+     * negatives; in exact mode it is precise.
+     */
+    bool contains(LineAddr line) const;
+
+    /** Precise membership against the exact mirror (stats only). */
+    bool containsExact(LineAddr line) const;
+
+    /** @return true iff the signature encodes no addresses (=∅). */
+    bool empty() const;
+
+    /**
+     * @return true iff this signature's intersection with @p other is
+     * (possibly) non-empty. In Bloom mode, a banked AND: the result is
+     * definitely empty iff some bank ANDs to zero.
+     */
+    bool intersects(const Signature &other) const;
+
+    /** True intersection emptiness on the exact mirrors (stats only). */
+    bool intersectsExact(const Signature &other) const;
+
+    /** Union @p other into this signature (the ∪ operation). */
+    void unionWith(const Signature &other);
+
+    /** Remove all addresses. */
+    void clear();
+
+    /**
+     * Decode (delta operation): the set of bank-0 indices that are set.
+     * A cache controller maps these to candidate cache sets; a line with
+     * bank-0 index not in this list is definitely not a member.
+     */
+    std::vector<std::uint32_t> decodeBank0() const;
+
+    /** Bank-0 index of a line (used by buckets mirroring the decode). */
+    std::uint32_t bank0Index(LineAddr line) const;
+
+    /** Number of distinct line addresses inserted (exact). */
+    std::size_t exactSize() const { return exactSet.size(); }
+
+    /** The exact mirror set (simulation metadata). */
+    const std::unordered_set<LineAddr> &exactLines() const
+    {
+        return exactSet;
+    }
+
+    /**
+     * Size of this signature when transferred on the interconnect, in
+     * bits: the better of the raw bitmap and a sparse per-bank index
+     * list, plus a small header. Models the paper's compression of
+     * ~2 Kbit signatures to a few hundred bits.
+     */
+    unsigned compressedBits() const;
+
+    /** Number of bits set across all banks (Bloom occupancy). */
+    unsigned popCount() const;
+
+    /** Raw bank-bit access (used by the wire codec). */
+    bool bitSet(unsigned bank, std::uint32_t idx) const;
+
+    /** Set a raw bank bit (wire codec decode; bypasses the exact
+     *  mirror, which never travels on the interconnect). */
+    void setBit(unsigned bank, std::uint32_t idx);
+
+    const SignatureConfig &config() const { return cfg; }
+
+  private:
+    std::uint32_t bankIndex(unsigned bank, LineAddr line) const;
+
+    bool bloomEmpty() const;
+
+    SignatureConfig cfg;
+    unsigned wordsPerBank;
+
+    /** Bit permutation: slot -> source bit of the line address. */
+    std::vector<std::uint8_t> permute;
+
+    /** Bit storage: numBanks * wordsPerBank 64-bit words. */
+    std::vector<std::uint64_t> bits;
+
+    /** Exact mirror of inserted lines. */
+    std::unordered_set<LineAddr> exactSet;
+};
+
+} // namespace bulksc
+
+#endif // BULKSC_SIGNATURE_SIGNATURE_HH

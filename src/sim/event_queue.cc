@@ -1,0 +1,38 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace bulksc {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    panic_if(when < _now, "scheduling event in the past: ", when,
+             " < ", _now);
+    events.push(Event{when, nextSeq++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (events.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately afterwards.
+    Event ev = std::move(const_cast<Event &>(events.top()));
+    events.pop();
+    _now = ev.when;
+    ++fired;
+    ev.cb();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!events.empty() && events.top().when <= limit)
+        step();
+    return _now;
+}
+
+} // namespace bulksc

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation kernel.
+ *
+ * A single EventQueue drives the whole simulated machine. Events are
+ * callbacks scheduled at an absolute tick; events scheduled for the same
+ * tick fire in FIFO order of scheduling, which makes every simulation run
+ * bit-for-bit reproducible.
+ */
+
+#ifndef BULKSC_SIM_EVENT_QUEUE_HH
+#define BULKSC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bulksc {
+
+/**
+ * The central event queue. All timed behaviour in the simulator is
+ * expressed as callbacks scheduled on an instance of this class.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** @return the current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback to invoke.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /**
+     * Schedule a callback @p delta ticks in the future.
+     */
+    void
+    scheduleAfter(Tick delta, Callback cb)
+    {
+        schedule(_now + delta, std::move(cb));
+    }
+
+    /** @return true if no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /** @return the number of pending events. */
+    std::size_t size() const { return events.size(); }
+
+    /**
+     * Run until the queue drains or @p limit ticks is reached.
+     *
+     * @param limit Stop (without firing) events past this tick.
+     * @return the tick of the last event fired (or now() if none fired).
+     */
+    Tick run(Tick limit = kTickNever);
+
+    /**
+     * Fire a single event.
+     *
+     * @return true if an event was fired, false if the queue was empty.
+     */
+    bool step();
+
+    /** Total number of events processed so far. */
+    std::uint64_t eventsFired() const { return fired; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t fired = 0;
+};
+
+/**
+ * Base class for named simulation components. Provides access to the
+ * shared event queue and a hierarchical name used in stats and logging.
+ */
+class SimObject
+{
+  public:
+    SimObject(EventQueue &eq, std::string name)
+        : eventq(eq), _name(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    const std::string &name() const { return _name; }
+
+    Tick curTick() const { return eventq.now(); }
+
+  protected:
+    EventQueue &eventq;
+
+  private:
+    std::string _name;
+};
+
+} // namespace bulksc
+
+#endif // BULKSC_SIM_EVENT_QUEUE_HH

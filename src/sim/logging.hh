@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal simulator invariant was violated (a bug in the
+ *            simulator itself); aborts so a debugger/core dump can be used.
+ * fatal()  — the simulation cannot continue because of a user error (bad
+ *            configuration, invalid arguments); exits with status 1.
+ * warn()   — something is suspect but the simulation can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef BULKSC_SIM_LOGGING_HH
+#define BULKSC_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace bulksc {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Build a message from a stream-style expression. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Suppress warn()/inform() output (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return true if warn()/inform() output is suppressed. */
+bool isQuiet();
+
+#define panic(...)                                                        \
+    ::bulksc::detail::panicImpl(__FILE__, __LINE__,                       \
+                                ::bulksc::detail::format(__VA_ARGS__))
+
+#define fatal(...)                                                        \
+    ::bulksc::detail::fatalImpl(__FILE__, __LINE__,                       \
+                                ::bulksc::detail::format(__VA_ARGS__))
+
+#define warn(...)                                                         \
+    ::bulksc::detail::warnImpl(::bulksc::detail::format(__VA_ARGS__))
+
+#define inform(...)                                                       \
+    ::bulksc::detail::informImpl(::bulksc::detail::format(__VA_ARGS__))
+
+/** panic() unless the given condition holds. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond) {                                                       \
+            panic("condition '" #cond "' hit: ", __VA_ARGS__);            \
+        }                                                                 \
+    } while (0)
+
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond) {                                                       \
+            fatal("condition '" #cond "' hit: ", __VA_ARGS__);            \
+        }                                                                 \
+    } while (0)
+
+} // namespace bulksc
+
+#endif // BULKSC_SIM_LOGGING_HH

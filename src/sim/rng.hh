@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * Uses splitmix64 both as a stream generator and as a stateless
+ * counter-based hash, so traces can be regenerated from (seed, proc,
+ * index) without storing generator state.
+ */
+
+#ifndef BULKSC_SIM_RNG_HH
+#define BULKSC_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace bulksc {
+
+/** One round of the splitmix64 finalizer (a strong 64-bit mixer). */
+constexpr std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * A small, fast, deterministic PRNG (splitmix64 stream).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) : state(seed) {}
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        state += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** @return a uniform value in [0, bound). @p bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Sample from an approximately Zipf-like distribution over
+     * [0, n): small indices are much more likely, giving the temporal
+     * locality real working sets exhibit.
+     *
+     * @param n Universe size.
+     * @param skew Locality knob in [0, 1); higher is more skewed.
+     */
+    std::uint64_t
+    zipfish(std::uint64_t n, double skew)
+    {
+        if (n <= 1)
+            return 0;
+        double u = uniform();
+        // Power-law warp of the uniform sample.
+        double exponent = 1.0 + 4.0 * skew;
+        double w = 1.0;
+        for (int i = 0; i < static_cast<int>(exponent); ++i)
+            w *= u;
+        double frac = exponent - static_cast<int>(exponent);
+        if (frac > 0)
+            w *= (1.0 - frac) + frac * u;
+        auto idx = static_cast<std::uint64_t>(
+            w * static_cast<double>(n));
+        return idx >= n ? n - 1 : idx;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace bulksc
+
+#endif // BULKSC_SIM_RNG_HH

@@ -1,0 +1,57 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+
+namespace bulksc {
+
+void
+StatGroup::set(const std::string &key, double value)
+{
+    vals[key] = value;
+}
+
+void
+StatGroup::add(const std::string &key, double value)
+{
+    vals[key] += value;
+}
+
+double
+StatGroup::get(const std::string &key, double fallback) const
+{
+    auto it = vals.find(key);
+    return it == vals.end() ? fallback : it->second;
+}
+
+bool
+StatGroup::has(const std::string &key) const
+{
+    return vals.count(key) != 0;
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[k, v] : other.vals)
+        vals[k] = v;
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[k, v] : vals)
+        os << prefix << k << " " << v << "\n";
+}
+
+double
+geoMean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : vals)
+        acc += std::log(v);
+    return std::exp(acc / static_cast<double>(vals.size()));
+}
+
+} // namespace bulksc

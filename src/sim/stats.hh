@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A small statistics framework in the spirit of the gem5 stats package.
+ *
+ * Stats are plain accumulators registered with a StatGroup so they can be
+ * enumerated and dumped as a table. Scalar counts, averages (mean over
+ * samples), and simple distributions are supported; formula-style derived
+ * values are computed at dump time by the owner.
+ */
+
+#ifndef BULKSC_SIM_STATS_HH
+#define BULKSC_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bulksc {
+
+/** A monotonically increasing counter. */
+class Counter
+{
+  public:
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        val += n;
+        return *this;
+    }
+
+    Counter &
+    operator++()
+    {
+        ++val;
+        return *this;
+    }
+
+    std::uint64_t value() const { return val; }
+
+    void reset() { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** Mean over a stream of samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+    }
+
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+
+    std::uint64_t samples() const { return n; }
+
+    double total() const { return sum; }
+
+    void
+    reset()
+    {
+        sum = 0.0;
+        n = 0;
+    }
+
+  private:
+    double sum = 0.0;
+    std::uint64_t n = 0;
+};
+
+/** Min/max/mean distribution over a stream of samples. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (n == 0 || v < lo)
+            lo = v;
+        if (n == 0 || v > hi)
+            hi = v;
+        sum += v;
+        ++n;
+    }
+
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    std::uint64_t samples() const { return n; }
+
+    void
+    reset()
+    {
+        lo = hi = sum = 0.0;
+        n = 0;
+    }
+
+  private:
+    double lo = 0.0;
+    double hi = 0.0;
+    double sum = 0.0;
+    std::uint64_t n = 0;
+};
+
+/**
+ * A flat named collection of scalar statistics. Components expose their
+ * stats by writing name/value pairs into a StatGroup at dump time; the
+ * System merges groups into a final report.
+ */
+class StatGroup
+{
+  public:
+    void set(const std::string &key, double value);
+
+    /** Add @p value to the entry (creating it at zero if absent). */
+    void add(const std::string &key, double value);
+
+    /** @return the value for @p key, or @p fallback if absent. */
+    double get(const std::string &key, double fallback = 0.0) const;
+
+    bool has(const std::string &key) const;
+
+    /** Merge all entries of @p other into this group (overwrites). */
+    void merge(const StatGroup &other);
+
+    const std::map<std::string, double> &entries() const { return vals; }
+
+    /** Print "key value" lines, sorted by key. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, double> vals;
+};
+
+/** Geometric mean of a vector of positive values (0 if empty). */
+double geoMean(const std::vector<double> &vals);
+
+} // namespace bulksc
+
+#endif // BULKSC_SIM_STATS_HH

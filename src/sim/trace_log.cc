@@ -1,0 +1,93 @@
+#include "sim/trace_log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bulksc {
+
+namespace {
+
+std::uint32_t
+initialMask()
+{
+    const char *env = std::getenv("BULKSC_TRACE");
+    return env ? parseTraceCategories(env) : 0;
+}
+
+std::uint32_t &
+mask()
+{
+    static std::uint32_t m = initialMask();
+    return m;
+}
+
+} // namespace
+
+std::uint32_t
+traceCategories()
+{
+    return mask();
+}
+
+void
+setTraceCategories(std::uint32_t m)
+{
+    mask() = m;
+}
+
+const char *
+traceCatName(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Chunk:
+        return "chunk";
+      case TraceCat::Commit:
+        return "commit";
+      case TraceCat::Squash:
+        return "squash";
+      case TraceCat::Coherence:
+        return "coherence";
+      case TraceCat::Sync:
+        return "sync";
+      case TraceCat::Mem:
+        return "mem";
+      default:
+        return "?";
+    }
+}
+
+std::uint32_t
+parseTraceCategories(const std::string &spec)
+{
+    if (spec == "all")
+        return ~std::uint32_t{0};
+    std::uint32_t m = 0;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string name = spec.substr(pos, comma - pos);
+        for (TraceCat c : {TraceCat::Chunk, TraceCat::Commit,
+                           TraceCat::Squash, TraceCat::Coherence,
+                           TraceCat::Sync, TraceCat::Mem}) {
+            if (name == traceCatName(c))
+                m |= static_cast<std::uint32_t>(c);
+        }
+        pos = comma + 1;
+    }
+    return m;
+}
+
+namespace detail {
+
+void
+traceLine(TraceCat cat, Tick tick, const std::string &msg)
+{
+    std::fprintf(stderr, "%10llu: [%s] %s\n",
+                 static_cast<unsigned long long>(tick),
+                 traceCatName(cat), msg.c_str());
+}
+
+} // namespace detail
+} // namespace bulksc

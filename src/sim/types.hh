@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem of the BulkSC
+ * simulator: ticks, addresses, node identifiers, and the geometry
+ * constants that the rest of the code derives from.
+ */
+
+#ifndef BULKSC_SIM_TYPES_HH
+#define BULKSC_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace bulksc {
+
+/** Simulated time, in processor cycles. */
+using Tick = std::uint64_t;
+
+/** A byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** A cache-line address (byte address >> line-offset bits). */
+using LineAddr = std::uint64_t;
+
+/** Identifies a node (processor, directory module, arbiter) on the
+ *  interconnect. */
+using NodeId = std::uint32_t;
+
+/** Identifies a processor core. */
+using ProcId = std::uint32_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick kTickNever = ~Tick{0};
+
+/** Sentinel node id. */
+constexpr NodeId kNodeNone = ~NodeId{0};
+
+/** Default line size used throughout the paper's configuration
+ *  (Table 2: 32 B lines in both L1 and L2). */
+constexpr unsigned kDefaultLineBytes = 32;
+
+/**
+ * Convert a byte address to a line address for a given line size.
+ *
+ * @param addr Byte address.
+ * @param line_bytes Cache line size in bytes (power of two).
+ * @return The line address.
+ */
+constexpr LineAddr
+lineOf(Addr addr, unsigned line_bytes = kDefaultLineBytes)
+{
+    return addr / line_bytes;
+}
+
+/** Integer log2 for power-of-two values. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned n = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** True iff @p x is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace bulksc
+
+#endif // BULKSC_SIM_TYPES_HH

@@ -1,0 +1,88 @@
+#include "system/machine_config.hh"
+
+#include "sim/logging.hh"
+
+namespace bulksc {
+
+const char *
+modelName(Model m)
+{
+    switch (m) {
+      case Model::SC:
+        return "SC";
+      case Model::TSO:
+        return "TSO";
+      case Model::RC:
+        return "RC";
+      case Model::SCpp:
+        return "SC++";
+      case Model::BSCbase:
+        return "BSCbase";
+      case Model::BSCdypvt:
+        return "BSCdypvt";
+      case Model::BSCstpvt:
+        return "BSCstpvt";
+      case Model::BSCexact:
+        return "BSCexact";
+      default:
+        return "?";
+    }
+}
+
+Model
+modelByName(const std::string &name)
+{
+    for (Model m : {Model::SC, Model::TSO, Model::RC, Model::SCpp,
+                    Model::BSCbase,
+                    Model::BSCdypvt, Model::BSCstpvt, Model::BSCexact}) {
+        if (name == modelName(m))
+            return m;
+    }
+    fatal("unknown model name: ", name);
+}
+
+bool
+isBulk(Model m)
+{
+    return m == Model::BSCbase || m == Model::BSCdypvt ||
+           m == Model::BSCstpvt || m == Model::BSCexact;
+}
+
+void
+MachineConfig::resolve()
+{
+    mem.numProcs = numProcs;
+    cpu.numBarrierProcs = numProcs;
+    cpu.lineBytes = mem.l1.lineBytes;
+    mem.bulkMode = isBulk(model);
+
+    switch (model) {
+      case Model::BSCbase:
+        bulk.dynPrivOpt = false;
+        bulk.statPrivOpt = false;
+        bulk.sigCfg.exact = false;
+        break;
+      case Model::BSCdypvt:
+        bulk.dynPrivOpt = true;
+        bulk.statPrivOpt = false;
+        bulk.sigCfg.exact = false;
+        break;
+      case Model::BSCstpvt:
+        bulk.dynPrivOpt = false;
+        bulk.statPrivOpt = true;
+        bulk.sigCfg.exact = false;
+        break;
+      case Model::BSCexact:
+        // The paper's BSCexact is BSCdypvt with an alias-free
+        // signature.
+        bulk.dynPrivOpt = true;
+        bulk.statPrivOpt = false;
+        bulk.sigCfg.exact = true;
+        break;
+      default:
+        break;
+    }
+    mem.sigCfg = bulk.sigCfg;
+}
+
+} // namespace bulksc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Top-level machine configuration: the paper's Table 2 as defaults,
+ * plus the consistency model selector.
+ */
+
+#ifndef BULKSC_SYSTEM_MACHINE_CONFIG_HH
+#define BULKSC_SYSTEM_MACHINE_CONFIG_HH
+
+#include <string>
+
+#include "core/bulk_processor.hh"
+#include "cpu/processor_base.hh"
+#include "mem/memory_system.hh"
+#include "network/network.hh"
+
+namespace bulksc {
+
+/** The consistency models compared in the paper's evaluation. */
+enum class Model
+{
+    SC,       //!< in-order SC + read/exclusive prefetching [12]
+    TSO,      //!< total store order (extension beyond the paper)
+    RC,       //!< release consistency, speculation across fences
+    SCpp,     //!< SC++ with a 2K-entry SHiQ [15]
+    BSCbase,  //!< basic BulkSC (Section 4)
+    BSCdypvt, //!< + dynamically-private data optimization (5.2)
+    BSCstpvt, //!< + statically-private data optimization (5.1)
+    BSCexact, //!< BSCdypvt with a "magic" alias-free signature
+};
+
+/** @return the paper's name for a model. */
+const char *modelName(Model m);
+
+/** Parse a model name (fatal on unknown). */
+Model modelByName(const std::string &name);
+
+/** True for the four BulkSC variants. */
+bool isBulk(Model m);
+
+/** Complete machine configuration (defaults follow Table 2). */
+struct MachineConfig
+{
+    Model model = Model::BSCdypvt;
+
+    unsigned numProcs = 8;
+
+    CpuParams cpu;
+    MemParams mem;
+    NetworkConfig net;
+    BulkParams bulk;
+
+    /** Arbiter signature-check latency; with the network hops this
+     *  yields the paper's ~30-cycle commit arbitration latency. */
+    Tick arbProcessing = 24;
+
+    /** Maximum simultaneously-committing chunks. */
+    unsigned maxSimulCommits = 8;
+
+    /** Arbiter modules; > 1 selects the distributed arbiter with a
+     *  G-arbiter (Section 4.2.3). */
+    unsigned numArbiters = 1;
+
+    /** SC++ SHiQ entries. */
+    unsigned shiqEntries = 2048;
+
+    /** Pre-load non-streaming lines into the L2 before the run so
+     *  short simulations measure steady state, not cold misses. */
+    bool warmCaches = true;
+
+    /**
+     * Resolve per-model knobs (bulk mode, private-data options, exact
+     * signatures) into the sub-configs. Call before building a System.
+     */
+    void resolve();
+};
+
+} // namespace bulksc
+
+#endif // BULKSC_SYSTEM_MACHINE_CONFIG_HH

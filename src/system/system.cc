@@ -1,0 +1,286 @@
+#include "system/system.hh"
+
+#include "cpu/rc_processor.hh"
+#include "cpu/sc_processor.hh"
+#include "cpu/scpp_processor.hh"
+#include "cpu/tso_processor.hh"
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+
+namespace bulksc {
+
+System::System(MachineConfig cfg_, std::vector<Trace> traces_)
+    : cfg(std::move(cfg_)), traces(std::move(traces_))
+{
+    fatal_if(traces.empty(), "system needs at least one trace");
+    if (cfg.numProcs > traces.size())
+        cfg.numProcs = static_cast<unsigned>(traces.size());
+    cfg.resolve();
+
+    const unsigned np = cfg.numProcs;
+    const unsigned nd = cfg.mem.numDirectories;
+
+    net = std::make_unique<Network>(eq, cfg.net);
+    memSys = std::make_unique<MemorySystem>(eq, *net, cfg.mem);
+
+    if (isBulk(cfg.model)) {
+        if (cfg.numArbiters <= 1) {
+            arb = std::make_unique<Arbiter>(
+                eq, *net, np + nd, cfg.arbProcessing, cfg.bulk.rsigOpt,
+                cfg.maxSimulCommits);
+        } else {
+            arb = std::make_unique<DistributedArbiter>(
+                eq, *net, np + nd, cfg.numArbiters, cfg.arbProcessing,
+                cfg.bulk.rsigOpt);
+        }
+    }
+
+    for (unsigned p = 0; p < np; ++p) {
+        std::string name = "cpu" + std::to_string(p);
+        switch (cfg.model) {
+          case Model::SC:
+            procs.push_back(std::make_unique<ScProcessor>(
+                eq, name, p, *memSys, traces[p], cfg.cpu));
+            break;
+          case Model::TSO:
+            procs.push_back(std::make_unique<TsoProcessor>(
+                eq, name, p, *memSys, traces[p], cfg.cpu));
+            break;
+          case Model::RC:
+            procs.push_back(std::make_unique<RcProcessor>(
+                eq, name, p, *memSys, traces[p], cfg.cpu));
+            break;
+          case Model::SCpp:
+            procs.push_back(std::make_unique<ScppProcessor>(
+                eq, name, p, *memSys, traces[p], cfg.cpu,
+                cfg.shiqEntries));
+            break;
+          default:
+            procs.push_back(std::make_unique<BulkProcessor>(
+                eq, name, p, *memSys, traces[p], cfg.cpu, cfg.bulk,
+                *arb));
+            break;
+        }
+    }
+}
+
+System::~System() = default;
+
+void
+System::enableScVerification()
+{
+    fatal_if(!isBulk(cfg.model),
+             "SC verification is defined over chunked executions "
+             "(BulkSC models)");
+    verifier = std::make_unique<ScVerifier>();
+    for (auto &p : procs) {
+        if (auto *bp = dynamic_cast<BulkProcessor *>(p.get()))
+            bp->setVerifier(verifier.get());
+    }
+}
+
+Results
+System::run(Tick limit)
+{
+    if (cfg.warmCaches) {
+        // Warm everything except the streaming region (whose whole
+        // point is to expose memory latency). Per processor, the
+        // first-touched lines also warm the L1 — earliest-touched
+        // most-recently-used — and per-processor-private lines whose
+        // first access is a store start out dirty-owned, seeding the
+        // steady-state pattern the dypvt optimization captures.
+        for (unsigned p = 0; p < procs.size(); ++p) {
+            const Trace &t = traces[p];
+            std::unordered_map<LineAddr, bool> first; // line -> dirty
+            std::vector<LineAddr> order;
+            for (const Op &op : t.ops) {
+                if (op.addr >= layout::kStreamBase)
+                    continue;
+                LineAddr line = lineOf(op.addr, cfg.mem.l1.lineBytes);
+                memSys->warmLine(line);
+                if (first.count(line))
+                    continue;
+                bool priv =
+                    (op.addr >= layout::kStackBase &&
+                     op.addr < layout::kSharedBase) ||
+                    op.addr >= layout::kLockBase;
+                first[line] = op.type == OpType::Store && priv &&
+                              op.addr < layout::kLockBase;
+                order.push_back(line);
+            }
+            // The earliest-touched lines should be resident (and most
+            // recently used) at simulation start: take the first
+            // L1-sized prefix of the touch order and insert it
+            // back-to-front.
+            std::size_t count = order.size();
+            if (count > cfg.mem.l1.numLines())
+                count = cfg.mem.l1.numLines();
+            for (std::size_t i = count; i-- > 0;)
+                memSys->warmL1(p, order[i], first[order[i]]);
+        }
+    }
+    for (auto &p : procs)
+        p->start();
+    eq.run(limit);
+
+    Results res;
+    res.completed = true;
+    for (auto &p : procs) {
+        if (!p->finished()) {
+            res.completed = false;
+            continue;
+        }
+        if (p->finishTick() > res.execTime)
+            res.execTime = p->finishTick();
+    }
+    if (!res.completed) {
+        warn("run hit the tick limit before all processors finished");
+        res.execTime = eq.now();
+    }
+    for (auto &p : procs)
+        res.loadResults.push_back(p->loadResults());
+    collectStats(res);
+    return res;
+}
+
+void
+System::collectStats(Results &res) const
+{
+    StatGroup &sg = res.stats;
+    sg.set("exec_time", static_cast<double>(res.execTime));
+    sg.set("model_is_bulk", isBulk(cfg.model) ? 1 : 0);
+
+    // Network traffic by class (Figure 11).
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(TrafficClass::NumClasses); ++c) {
+        auto cls = static_cast<TrafficClass>(c);
+        sg.set(std::string("net.bits.") + trafficClassName(cls),
+               static_cast<double>(net->bitsSent(cls)));
+    }
+    sg.set("net.bits.total", static_cast<double>(net->totalBits()));
+    sg.set("net.messages", static_cast<double>(net->messages()));
+    sg.set("net.queueing_cycles",
+           static_cast<double>(net->queueingCycles()));
+
+    memSys->dumpStats(sg);
+
+    // Processor aggregates.
+    double retired = 0, wasted = 0, squashes = 0, spin = 0;
+    for (const auto &p : procs) {
+        retired += static_cast<double>(p->retiredInstrs());
+        wasted += static_cast<double>(p->wastedInstrs());
+        squashes += static_cast<double>(p->squashes());
+        spin += static_cast<double>(p->spinInstrs());
+    }
+    sg.set("cpu.retired_instrs", retired);
+    sg.set("cpu.wasted_instrs", wasted);
+    sg.set("cpu.squashes", squashes);
+    sg.set("cpu.spin_instrs", spin);
+    sg.set("cpu.squashed_instr_pct",
+           retired + wasted > 0 ? 100.0 * wasted / (retired + wasted)
+                                : 0.0);
+
+    if (!isBulk(cfg.model))
+        return;
+
+    // BulkSC aggregates (Tables 3 and 4).
+    BulkStats agg;
+    for (const auto &p : procs) {
+        const auto *bp = dynamic_cast<const BulkProcessor *>(p.get());
+        if (!bp)
+            continue;
+        const BulkStats &b = bp->bulkStats();
+        agg.commits += b.commits;
+        agg.emptyWCommits += b.emptyWCommits;
+        agg.deniedCommits += b.deniedCommits;
+        agg.abortedGrants += b.abortedGrants;
+        agg.rSizeSum += b.rSizeSum;
+        agg.wSizeSum += b.wSizeSum;
+        agg.wprivSizeSum += b.wprivSizeSum;
+        agg.specReadDisplacements += b.specReadDisplacements;
+        agg.specWriteDisplacements += b.specWriteDisplacements;
+        agg.privBufferSupplies += b.privBufferSupplies;
+        agg.privBufferOverflows += b.privBufferOverflows;
+        agg.baseWritebacks += b.baseWritebacks;
+        agg.invalNodes += b.invalNodes;
+        agg.preArbRequests += b.preArbRequests;
+    }
+    double commits = static_cast<double>(agg.commits);
+    sg.set("bulk.commits", commits);
+    sg.set("bulk.empty_w_pct",
+           commits ? 100.0 * static_cast<double>(agg.emptyWCommits) /
+                         commits
+                   : 0.0);
+    sg.set("bulk.denied_commits",
+           static_cast<double>(agg.deniedCommits));
+    sg.set("bulk.aborted_grants",
+           static_cast<double>(agg.abortedGrants));
+    sg.set("bulk.avg_read_set", commits ? agg.rSizeSum / commits : 0.0);
+    sg.set("bulk.avg_write_set",
+           commits ? agg.wSizeSum / commits : 0.0);
+    sg.set("bulk.avg_priv_write_set",
+           commits ? agg.wprivSizeSum / commits : 0.0);
+    sg.set("bulk.spec_read_displacements",
+           static_cast<double>(agg.specReadDisplacements));
+    sg.set("bulk.spec_write_displacements",
+           static_cast<double>(agg.specWriteDisplacements));
+    sg.set("bulk.priv_buffer_supplies",
+           static_cast<double>(agg.privBufferSupplies));
+    sg.set("bulk.priv_buffer_overflows",
+           static_cast<double>(agg.privBufferOverflows));
+    sg.set("bulk.base_writebacks",
+           static_cast<double>(agg.baseWritebacks));
+    sg.set("bulk.inval_nodes_total",
+           static_cast<double>(agg.invalNodes));
+    sg.set("bulk.nodes_per_wsig",
+           commits ? static_cast<double>(agg.invalNodes) / commits
+                   : 0.0);
+    sg.set("bulk.pre_arbitrations",
+           static_cast<double>(agg.preArbRequests));
+
+    if (verifier) {
+        sg.set("sc_verifier.verified", verifier->verified() ? 1 : 0);
+        sg.set("sc_verifier.chunks",
+               static_cast<double>(verifier->chunksChecked()));
+        sg.set("sc_verifier.reads",
+               static_cast<double>(verifier->readsChecked()));
+        sg.set("sc_verifier.errors",
+               static_cast<double>(verifier->errors().size()));
+    }
+
+    if (arb) {
+        const ArbiterStats &as = arb->stats();
+        sg.set("arb.requests", static_cast<double>(as.requests));
+        sg.set("arb.grants", static_cast<double>(as.grants));
+        sg.set("arb.denials", static_cast<double>(as.denials));
+        sg.set("arb.rsig_required_pct",
+               as.requests ? 100.0 *
+                                 static_cast<double>(as.rsigRequired) /
+                                 static_cast<double>(as.requests)
+                           : 0.0);
+        sg.set("arb.empty_w_pct",
+               as.grants ? 100.0 *
+                               static_cast<double>(as.emptyWCommits) /
+                               static_cast<double>(as.grants)
+                         : 0.0);
+        sg.set("arb.avg_pending_w", as.avgPendingW(res.execTime));
+        sg.set("arb.non_empty_pct",
+               100.0 * as.nonEmptyFrac(res.execTime));
+        sg.set("arb.pre_arbitrations",
+               static_cast<double>(as.preArbitrations));
+    }
+}
+
+Results
+runWorkload(Model model, const AppProfile &profile, unsigned num_procs,
+            std::uint64_t instrs_per_proc, const MachineConfig *cfg_in)
+{
+    MachineConfig cfg = cfg_in ? *cfg_in : MachineConfig{};
+    cfg.model = model;
+    cfg.numProcs = num_procs;
+    auto traces = generateTraces(profile, num_procs, instrs_per_proc);
+    System sys(std::move(cfg), std::move(traces));
+    return sys.run();
+}
+
+} // namespace bulksc

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * System assembly: wires processors, caches, directory, network, and
+ * arbiter into a runnable machine for a given consistency model — the
+ * library's primary public entry point.
+ *
+ * Typical use:
+ * @code
+ *   MachineConfig cfg;
+ *   cfg.model = Model::BSCdypvt;
+ *   auto traces = generateTraces(profileByName("ocean"), 8, 100000);
+ *   System sys(cfg, std::move(traces));
+ *   Results res = sys.run();
+ * @endcode
+ */
+
+#ifndef BULKSC_SYSTEM_SYSTEM_HH
+#define BULKSC_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/arbiter.hh"
+#include "core/bulk_processor.hh"
+#include "core/sc_verifier.hh"
+#include "core/distributed_arbiter.hh"
+#include "cpu/processor_base.hh"
+#include "mem/memory_system.hh"
+#include "network/network.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "system/machine_config.hh"
+
+namespace bulksc {
+
+/** Output of a simulation run. */
+struct Results
+{
+    /** Parallel execution time: the last processor's finish tick. */
+    Tick execTime = 0;
+
+    /** True iff every processor completed within the run limit. */
+    bool completed = false;
+
+    /** Aggregated statistics from every component. */
+    StatGroup stats;
+
+    /** Per-processor recorded load values (litmus tests). */
+    std::vector<std::vector<std::uint64_t>> loadResults;
+};
+
+/**
+ * A complete simulated machine.
+ */
+class System
+{
+  public:
+    /**
+     * Build a machine. @p cfg is resolved internally; the number of
+     * processors is clamped to the number of traces.
+     */
+    System(MachineConfig cfg, std::vector<Trace> traces);
+
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Run to completion (or until @p limit ticks).
+     */
+    Results run(Tick limit = kTickNever);
+
+    /**
+     * Attach an SC conformance checker (BulkSC models only): every
+     * committed chunk's access log is replayed serially in commit
+     * order and each load's observed value is checked. Call before
+     * run(); results land in stats ("sc_verifier.*") and via
+     * scVerifier(). Needs value tracking on the workload's ops.
+     */
+    void enableScVerification();
+
+    /** The attached checker, or nullptr. */
+    const ScVerifier *scVerifier() const { return verifier.get(); }
+
+    // --- component access for tests and benches ---
+    MemorySystem &memory() { return *memSys; }
+    Network &network() { return *net; }
+    ArbiterIface *arbiter() { return arb.get(); }
+    ProcessorBase &processor(unsigned i) { return *procs.at(i); }
+    const MachineConfig &config() const { return cfg; }
+    EventQueue &eventQueue() { return eq; }
+    unsigned numProcs() const
+    {
+        return static_cast<unsigned>(procs.size());
+    }
+
+  private:
+    void collectStats(Results &res) const;
+
+    MachineConfig cfg;
+    std::vector<Trace> traces;
+
+    EventQueue eq;
+    std::unique_ptr<Network> net;
+    std::unique_ptr<MemorySystem> memSys;
+    std::unique_ptr<ArbiterIface> arb;
+    std::vector<std::unique_ptr<ProcessorBase>> procs;
+    std::unique_ptr<ScVerifier> verifier;
+};
+
+/**
+ * Convenience: run one application profile under one model.
+ *
+ * @param model Consistency model.
+ * @param profile Application profile.
+ * @param num_procs Processors.
+ * @param instrs_per_proc Dynamic instructions per processor.
+ * @param cfg_in Optional base configuration to start from.
+ */
+Results runWorkload(Model model, const struct AppProfile &profile,
+                    unsigned num_procs, std::uint64_t instrs_per_proc,
+                    const MachineConfig *cfg_in = nullptr);
+
+} // namespace bulksc
+
+#endif // BULKSC_SYSTEM_SYSTEM_HH

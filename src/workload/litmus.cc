@@ -1,0 +1,214 @@
+#include "workload/litmus.hh"
+
+namespace bulksc {
+
+namespace {
+
+constexpr Addr kX = 0x9000'0000;
+constexpr Addr kY = 0x9000'0040; // different line
+constexpr Addr kData = 0x9000'0080;
+constexpr Addr kFlag = 0x9000'00C0;
+
+Op
+mkLoad(Addr a, std::uint32_t slot, std::uint32_t gap)
+{
+    Op op;
+    op.type = OpType::Load;
+    op.addr = a;
+    op.aux = slot;
+    op.gap = gap;
+    op.tracked = true;
+    return op;
+}
+
+Op
+mkStore(Addr a, std::uint64_t v, std::uint32_t gap)
+{
+    Op op;
+    op.type = OpType::Store;
+    op.addr = a;
+    op.storeValue = v;
+    op.gap = gap;
+    op.tracked = true;
+    return op;
+}
+
+Op
+mkWarm(Addr a, std::uint32_t gap)
+{
+    Op op;
+    op.type = OpType::Load;
+    op.addr = a;
+    op.gap = gap;
+    return op;
+}
+
+/** Warm both variables into every cache, then space out the body. */
+void
+warmup(Trace &t, std::initializer_list<Addr> addrs, std::uint32_t pad)
+{
+    for (Addr a : addrs)
+        t.ops.push_back(mkWarm(a, 20));
+    // A long non-memory stretch so warm-up misses settle.
+    Op spacer = mkWarm(addrs.begin()[0], 2000 + pad);
+    t.ops.push_back(spacer);
+}
+
+} // namespace
+
+LitmusTest
+makeStoreBuffering(unsigned variant)
+{
+    LitmusTest lt;
+    lt.name = "store-buffering-v" + std::to_string(variant);
+    lt.traces.resize(2);
+
+    std::uint32_t j0 = 1 + (variant * 17) % 29;
+    std::uint32_t j1 = 1 + (variant * 31) % 23;
+
+    warmup(lt.traces[0], {kX, kY}, variant * 13);
+    lt.traces[0].ops.push_back(mkStore(kX, 1, j0));
+    lt.traces[0].ops.push_back(mkLoad(kY, 0, 1));
+    lt.traces[0].finalize();
+
+    warmup(lt.traces[1], {kX, kY}, variant * 13);
+    lt.traces[1].ops.push_back(mkStore(kY, 1, j1));
+    lt.traces[1].ops.push_back(mkLoad(kX, 0, 1));
+    lt.traces[1].finalize();
+
+    lt.allowedSC =
+        [](const std::vector<std::vector<std::uint64_t>> &r) {
+            return !(r[0][0] == 0 && r[1][0] == 0);
+        };
+    return lt;
+}
+
+LitmusTest
+makeMessagePassing(unsigned variant)
+{
+    LitmusTest lt;
+    lt.name = "message-passing-v" + std::to_string(variant);
+    lt.traces.resize(2);
+
+    std::uint32_t j0 = 1 + (variant * 11) % 19;
+
+    warmup(lt.traces[0], {kData, kFlag}, variant * 7);
+    lt.traces[0].ops.push_back(mkStore(kData, 1, j0));
+    lt.traces[0].ops.push_back(mkStore(kFlag, 1, 1));
+    lt.traces[0].finalize();
+
+    warmup(lt.traces[1], {kData, kFlag}, variant * 7);
+    lt.traces[1].ops.push_back(mkLoad(kFlag, 0, 1 + variant % 5));
+    lt.traces[1].ops.push_back(mkLoad(kData, 1, 1));
+    lt.traces[1].finalize();
+
+    lt.allowedSC =
+        [](const std::vector<std::vector<std::uint64_t>> &r) {
+            return !(r[1][0] == 1 && r[1][1] == 0);
+        };
+    return lt;
+}
+
+LitmusTest
+makeIriw(unsigned variant)
+{
+    LitmusTest lt;
+    lt.name = "iriw-v" + std::to_string(variant);
+    lt.traces.resize(4);
+
+    warmup(lt.traces[0], {kX}, variant * 5);
+    lt.traces[0].ops.push_back(mkStore(kX, 1, 1 + variant % 7));
+    lt.traces[0].finalize();
+
+    warmup(lt.traces[1], {kY}, variant * 5);
+    lt.traces[1].ops.push_back(mkStore(kY, 1, 1 + (variant * 3) % 7));
+    lt.traces[1].finalize();
+
+    warmup(lt.traces[2], {kX, kY}, variant * 5);
+    lt.traces[2].ops.push_back(mkLoad(kX, 0, 1));
+    lt.traces[2].ops.push_back(mkLoad(kY, 1, 1));
+    lt.traces[2].finalize();
+
+    warmup(lt.traces[3], {kX, kY}, variant * 5);
+    lt.traces[3].ops.push_back(mkLoad(kY, 0, 1));
+    lt.traces[3].ops.push_back(mkLoad(kX, 1, 1));
+    lt.traces[3].finalize();
+
+    lt.allowedSC =
+        [](const std::vector<std::vector<std::uint64_t>> &r) {
+            return !(r[2][0] == 1 && r[2][1] == 0 && r[3][0] == 1 &&
+                     r[3][1] == 0);
+        };
+    return lt;
+}
+
+LitmusTest
+makeCoRR(unsigned variant)
+{
+    LitmusTest lt;
+    lt.name = "corr-v" + std::to_string(variant);
+    lt.traces.resize(2);
+
+    warmup(lt.traces[0], {kX}, variant * 9);
+    lt.traces[0].ops.push_back(mkStore(kX, 1, 1 + variant % 11));
+    lt.traces[0].finalize();
+
+    warmup(lt.traces[1], {kX}, variant * 9);
+    lt.traces[1].ops.push_back(mkLoad(kX, 0, 1 + variant % 3));
+    lt.traces[1].ops.push_back(mkLoad(kX, 1, 1));
+    lt.traces[1].finalize();
+
+    lt.allowedSC =
+        [](const std::vector<std::vector<std::uint64_t>> &r) {
+            return !(r[1][0] == 1 && r[1][1] == 0);
+        };
+    return lt;
+}
+
+LitmusTest
+make2Plus2W(unsigned variant)
+{
+    LitmusTest lt;
+    lt.name = "2+2w-v" + std::to_string(variant);
+    lt.traces.resize(4);
+
+    warmup(lt.traces[0], {kX, kY}, variant * 3);
+    lt.traces[0].ops.push_back(mkStore(kX, 1, 1 + variant % 7));
+    lt.traces[0].ops.push_back(mkStore(kY, 2, 1));
+    lt.traces[0].finalize();
+
+    warmup(lt.traces[1], {kX, kY}, variant * 3);
+    lt.traces[1].ops.push_back(mkStore(kY, 1, 1 + (variant * 5) % 7));
+    lt.traces[1].ops.push_back(mkStore(kX, 2, 1));
+    lt.traces[1].finalize();
+
+    // Observers read the final state well after the writers are done.
+    for (unsigned o = 2; o < 4; ++o) {
+        warmup(lt.traces[o], {kX, kY}, variant * 3);
+        lt.traces[o].ops.push_back(
+            mkLoad(o == 2 ? kX : kY, 0, 20000));
+        lt.traces[o].finalize();
+    }
+
+    lt.allowedSC =
+        [](const std::vector<std::vector<std::uint64_t>> &r) {
+            return !(r[2][0] == 1 && r[3][0] == 1);
+        };
+    return lt;
+}
+
+std::vector<LitmusTest>
+allLitmusTests(unsigned variants)
+{
+    std::vector<LitmusTest> v;
+    for (unsigned i = 0; i < variants; ++i) {
+        v.push_back(makeStoreBuffering(i));
+        v.push_back(makeMessagePassing(i));
+        v.push_back(makeIriw(i));
+        v.push_back(makeCoRR(i));
+        v.push_back(make2Plus2W(i));
+    }
+    return v;
+}
+
+} // namespace bulksc

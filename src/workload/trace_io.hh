@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Binary save/load for trace bundles.
+ *
+ * Workloads are normally synthesized deterministically, but a real
+ * release needs record/replay: freeze the exact op streams of a run
+ * to disk, share them, and re-run them bit-identically on any build
+ * (e.g. to report a bug or compare machine configurations on frozen
+ * inputs). The format is a small versioned container:
+ *
+ *   magic "BSCT"  u32 version  u32 numTraces
+ *   per trace: u64 numOps, then numOps packed Op records
+ *
+ * All fields little-endian.
+ */
+
+#ifndef BULKSC_WORKLOAD_TRACE_IO_HH
+#define BULKSC_WORKLOAD_TRACE_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/op.hh"
+
+namespace bulksc {
+
+/** Write a trace bundle to @p path. @return false on I/O failure. */
+bool saveTraces(const std::string &path,
+                const std::vector<Trace> &traces);
+
+/**
+ * Load a trace bundle written by saveTraces(). Traces come back
+ * finalized.
+ *
+ * @return the traces; empty on I/O or format failure (and warns).
+ */
+std::vector<Trace> loadTraces(const std::string &path);
+
+} // namespace bulksc
+
+#endif // BULKSC_WORKLOAD_TRACE_IO_HH

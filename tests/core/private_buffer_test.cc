@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the Private Buffer (Section 5.2) and the chunk
+ * descriptor state machine in core/bdm.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bdm.hh"
+
+namespace bulksc {
+namespace {
+
+TEST(PrivateBuffer, CapacityAndMembership)
+{
+    PrivateBuffer pb(3);
+    EXPECT_FALSE(pb.full());
+    EXPECT_TRUE(pb.insert(1));
+    EXPECT_TRUE(pb.insert(2));
+    EXPECT_TRUE(pb.insert(3));
+    EXPECT_TRUE(pb.full());
+    EXPECT_FALSE(pb.insert(4)); // overflow: caller falls back to W
+    EXPECT_TRUE(pb.contains(2));
+    EXPECT_FALSE(pb.contains(4));
+    EXPECT_EQ(pb.size(), 3u);
+}
+
+TEST(PrivateBuffer, ReinsertingExistingLineIsFree)
+{
+    PrivateBuffer pb(2);
+    EXPECT_TRUE(pb.insert(7));
+    EXPECT_TRUE(pb.insert(8));
+    // Already present: succeeds even though the buffer is full.
+    EXPECT_TRUE(pb.insert(7));
+    EXPECT_EQ(pb.size(), 2u);
+}
+
+TEST(PrivateBuffer, EraseAndClear)
+{
+    PrivateBuffer pb(4);
+    pb.insert(1);
+    pb.insert(2);
+    pb.erase(1);
+    EXPECT_FALSE(pb.contains(1));
+    EXPECT_TRUE(pb.contains(2));
+    pb.clear();
+    EXPECT_EQ(pb.size(), 0u);
+    EXPECT_FALSE(pb.full());
+}
+
+TEST(PrivateBuffer, HighWatermarkTracksPeak)
+{
+    PrivateBuffer pb(8);
+    for (LineAddr l = 0; l < 5; ++l)
+        pb.insert(l);
+    pb.erase(0);
+    pb.erase(1);
+    EXPECT_EQ(pb.highWatermark(), 5u);
+    EXPECT_EQ(pb.size(), 3u);
+}
+
+TEST(PrivateBuffer, DefaultCapacityMatchesPaper)
+{
+    // "This buffer can hold ~24 lines" (Section 5.2).
+    PrivateBuffer pb;
+    for (LineAddr l = 0; l < 24; ++l)
+        EXPECT_TRUE(pb.insert(l));
+    EXPECT_TRUE(pb.full());
+}
+
+TEST(Chunk, InitialStateIsOpen)
+{
+    Chunk c(7, 123, 1000, SignatureConfig{});
+    EXPECT_EQ(c.seq, 7u);
+    EXPECT_EQ(c.startPos, 123u);
+    EXPECT_EQ(c.targetSize, 1000u);
+    EXPECT_FALSE(c.endReached);
+    EXPECT_FALSE(c.readyToArbitrate());
+    EXPECT_TRUE(c.r.empty());
+    EXPECT_TRUE(c.w.empty());
+    EXPECT_TRUE(c.wpriv.empty());
+}
+
+TEST(Chunk, ReadyToArbitrateRequiresEverythingDrained)
+{
+    Chunk c(0, 0, 100, SignatureConfig{});
+    c.endReached = true;
+    EXPECT_TRUE(c.readyToArbitrate());
+
+    c.inflightLoads = 1;
+    EXPECT_FALSE(c.readyToArbitrate());
+    c.inflightLoads = 0;
+
+    c.outstandingStoreLines.insert(42);
+    EXPECT_FALSE(c.readyToArbitrate());
+    c.outstandingStoreLines.clear();
+
+    c.pendingFwd = 1;
+    EXPECT_FALSE(c.readyToArbitrate());
+    c.pendingFwd = 0;
+
+    c.arbitrating = true;
+    EXPECT_FALSE(c.readyToArbitrate());
+    c.arbitrating = false;
+
+    EXPECT_TRUE(c.readyToArbitrate());
+}
+
+TEST(Chunk, SignaturesAreIndependent)
+{
+    Chunk c(0, 0, 100, SignatureConfig{});
+    c.r.insert(1);
+    c.w.insert(2);
+    c.wpriv.insert(3);
+    EXPECT_TRUE(c.r.contains(1));
+    EXPECT_FALSE(c.w.containsExact(1));
+    EXPECT_FALSE(c.wpriv.containsExact(2));
+}
+
+} // namespace
+} // namespace bulksc

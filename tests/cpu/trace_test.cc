@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for the trace representation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/op.hh"
+
+namespace bulksc {
+namespace {
+
+TEST(Trace, FinalizeBuildsCumulativeIndex)
+{
+    Trace t;
+    Op a;
+    a.gap = 4; // 5 instructions total
+    Op b;
+    b.gap = 0; // 1 instruction
+    Op c;
+    c.gap = 9; // 10 instructions
+    t.ops = {a, b, c};
+    t.finalize();
+
+    ASSERT_EQ(t.cum.size(), 4u);
+    EXPECT_EQ(t.cum[0], 0u);
+    EXPECT_EQ(t.cum[1], 5u);
+    EXPECT_EQ(t.cum[2], 6u);
+    EXPECT_EQ(t.cum[3], 16u);
+    EXPECT_EQ(t.totalInstrs(), 16u);
+    EXPECT_EQ(t.instrsBetween(0, 2), 6u);
+    EXPECT_EQ(t.instrsBetween(1, 3), 11u);
+}
+
+TEST(Trace, NumSlotsFromRecordingLoads)
+{
+    Trace t;
+    Op l1;
+    l1.type = OpType::Load;
+    l1.aux = 2;
+    Op l2;
+    l2.type = OpType::Load;
+    l2.aux = 0;
+    Op st;
+    st.type = OpType::Store;
+    st.aux = 9; // stores never record
+    t.ops = {l1, l2, st};
+    t.finalize();
+    EXPECT_EQ(t.numSlots, 3u);
+}
+
+TEST(Trace, EmptyTrace)
+{
+    Trace t;
+    t.finalize();
+    EXPECT_EQ(t.totalInstrs(), 0u);
+    EXPECT_EQ(t.numSlots, 0u);
+}
+
+} // namespace
+} // namespace bulksc

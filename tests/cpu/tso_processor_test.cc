@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the TSO baseline: store-buffer semantics (store->load
+ * reordering allowed, everything else ordered), forwarding, drains,
+ * and litmus behaviour against the other models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/tso_processor.hh"
+#include "system/system.hh"
+#include "workload/generator.hh"
+#include "workload/litmus.hh"
+
+namespace bulksc {
+namespace {
+
+Op
+load(Addr a, std::uint32_t gap = 1, std::uint32_t slot = kNoSlot)
+{
+    Op op;
+    op.type = OpType::Load;
+    op.addr = a;
+    op.gap = gap;
+    op.aux = slot;
+    op.tracked = true;
+    return op;
+}
+
+Op
+store(Addr a, std::uint64_t v, std::uint32_t gap = 1)
+{
+    Op op;
+    op.type = OpType::Store;
+    op.addr = a;
+    op.storeValue = v;
+    op.gap = gap;
+    op.tracked = true;
+    return op;
+}
+
+Trace
+makeTrace(std::vector<Op> ops)
+{
+    Trace t;
+    t.ops = std::move(ops);
+    t.finalize();
+    return t;
+}
+
+TEST(TsoProcessor, CompletesAndDrainsStores)
+{
+    std::vector<Op> ops;
+    for (int i = 0; i < 120; ++i)
+        ops.push_back(i % 2 ? load(0x1000 + (i % 8) * 64)
+                            : store(0x9000'0000 + (i % 4) * 64, i));
+    MachineConfig cfg;
+    cfg.model = Model::TSO;
+    cfg.numProcs = 1;
+    System sys(cfg, {makeTrace(ops)});
+    Results r = sys.run(10'000'000);
+    ASSERT_TRUE(r.completed);
+    auto *tso = dynamic_cast<TsoProcessor *>(&sys.processor(0));
+    ASSERT_NE(tso, nullptr);
+    EXPECT_EQ(tso->drainedStores(), 60u);
+}
+
+TEST(TsoProcessor, StoreToLoadForwarding)
+{
+    // A load of a buffered (undrained) store's address must see the
+    // store's value — TSO forwards from the store buffer.
+    std::vector<Op> ops = {
+        store(layout::kStreamBase, 42, 1), // slow cold store
+        load(layout::kStreamBase, 0, 0),   // immediate reload
+    };
+    MachineConfig cfg;
+    cfg.model = Model::TSO;
+    cfg.numProcs = 1;
+    cfg.warmCaches = false;
+    System sys(cfg, {makeTrace(ops)});
+    Results r = sys.run(10'000'000);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.loadResults[0][0], 42u);
+}
+
+TEST(TsoProcessor, StoreBufferingReorderIsAllowedAndObserved)
+{
+    // TSO's defining litmus outcome: both processors may read 0 in
+    // the store-buffering test. Verify it actually occurs across
+    // variants (otherwise TSO would be indistinguishable from SC).
+    unsigned reorders = 0;
+    for (unsigned v = 0; v < 10; ++v) {
+        LitmusTest lt = makeStoreBuffering(v);
+        MachineConfig cfg;
+        cfg.model = Model::TSO;
+        cfg.numProcs = 2;
+        System sys(cfg, lt.traces);
+        Results r = sys.run(50'000'000);
+        ASSERT_TRUE(r.completed);
+        if (r.loadResults[0][0] == 0 && r.loadResults[1][0] == 0)
+            ++reorders;
+    }
+    EXPECT_GT(reorders, 0u);
+}
+
+TEST(TsoProcessor, MessagePassingIsOrdered)
+{
+    // TSO keeps store->store and load->load order: the message-
+    // passing outcome r(flag)=1, r(data)=0 is forbidden.
+    for (unsigned v = 0; v < 10; ++v) {
+        LitmusTest lt = makeMessagePassing(v);
+        MachineConfig cfg;
+        cfg.model = Model::TSO;
+        cfg.numProcs = 2;
+        System sys(cfg, lt.traces);
+        Results r = sys.run(50'000'000);
+        ASSERT_TRUE(r.completed);
+        EXPECT_FALSE(r.loadResults[1][0] == 1 &&
+                     r.loadResults[1][1] == 0)
+            << "variant " << v;
+    }
+}
+
+TEST(TsoProcessor, CoherencePerLocationHolds)
+{
+    for (unsigned v = 0; v < 6; ++v) {
+        LitmusTest lt = makeCoRR(v);
+        MachineConfig cfg;
+        cfg.model = Model::TSO;
+        cfg.numProcs = 2;
+        System sys(cfg, lt.traces);
+        Results r = sys.run(50'000'000);
+        ASSERT_TRUE(r.completed);
+        EXPECT_TRUE(lt.allowedSC(r.loadResults)) << "variant " << v;
+    }
+}
+
+TEST(TsoProcessor, PerformanceBetweenScAndRc)
+{
+    Results sc = runWorkload(Model::SC, profileByName("ocean"), 8,
+                             12'000);
+    Results tso = runWorkload(Model::TSO, profileByName("ocean"), 8,
+                              12'000);
+    Results rc = runWorkload(Model::RC, profileByName("ocean"), 8,
+                             12'000);
+    // Store buffering removes the store stalls SC pays, but the
+    // ordered load chain keeps TSO at or behind RC.
+    EXPECT_LE(tso.execTime, sc.execTime);
+    EXPECT_GE(tso.execTime * 20, rc.execTime * 19);
+}
+
+TEST(TsoProcessor, SyncOpsDrainTheBuffer)
+{
+    const Addr lock = layout::lockAddr(3);
+    std::vector<Op> ops = {store(0x9000'0000, 5, 2)};
+    Op acq;
+    acq.type = OpType::Acquire;
+    acq.addr = lock;
+    acq.gap = 2;
+    ops.push_back(acq);
+    Op rel;
+    rel.type = OpType::Release;
+    rel.addr = lock;
+    rel.gap = 2;
+    ops.push_back(rel);
+    ops.push_back(load(0x9000'0000, 2, 0));
+
+    MachineConfig cfg;
+    cfg.model = Model::TSO;
+    cfg.numProcs = 1;
+    System sys(cfg, {makeTrace(ops)});
+    Results r = sys.run(10'000'000);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.loadResults[0][0], 5u);
+    EXPECT_EQ(sys.memory().readValue(lock), 0u);
+}
+
+} // namespace
+} // namespace bulksc

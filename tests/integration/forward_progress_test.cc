@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Forward-progress tests for the pathological synchronization
+ * scenarios of Section 3.3: write-spinning waiters that repeatedly
+ * squash the key processor, chunk-size shrinking, and the
+ * pre-arbitration guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bulk_processor.hh"
+#include "system/system.hh"
+#include "workload/generator.hh"
+
+namespace bulksc {
+namespace {
+
+Op
+load(Addr a, std::uint32_t gap = 1, std::uint32_t slot = kNoSlot)
+{
+    Op op;
+    op.type = OpType::Load;
+    op.addr = a;
+    op.gap = gap;
+    op.aux = slot;
+    op.tracked = true;
+    return op;
+}
+
+Op
+store(Addr a, std::uint64_t v, std::uint32_t gap = 1)
+{
+    Op op;
+    op.type = OpType::Store;
+    op.addr = a;
+    op.storeValue = v;
+    op.gap = gap;
+    op.tracked = true;
+    return op;
+}
+
+Trace
+makeTrace(std::vector<Op> ops)
+{
+    Trace t;
+    t.ops = std::move(ops);
+    t.finalize();
+    return t;
+}
+
+TEST(ForwardProgress, WriteSpinnersCannotStarveTheKeyProcessor)
+{
+    // The paper's worst case: several processors "spin" with writes
+    // to a line the key processor also accesses. Without the
+    // forward-progress measures the key processor could be squashed
+    // forever; with chunk shrinking and pre-arbitration everyone
+    // finishes.
+    const Addr v = 0x9000'0000;
+    std::vector<Trace> traces;
+    // Key processor: a long run of accesses to v.
+    {
+        std::vector<Op> ops;
+        for (int i = 0; i < 120; ++i) {
+            ops.push_back(load(v, 4));
+            ops.push_back(store(v, i, 4));
+        }
+        traces.push_back(makeTrace(ops));
+    }
+    // Three aggressive write-spinners on the same line.
+    for (int p = 1; p < 4; ++p) {
+        std::vector<Op> ops;
+        for (int i = 0; i < 500; ++i)
+            ops.push_back(store(v, i, 2));
+        traces.push_back(makeTrace(ops));
+    }
+
+    MachineConfig cfg;
+    cfg.model = Model::BSCdypvt;
+    cfg.numProcs = 4;
+    cfg.bulk.preArbThreshold = 4;
+    System sys(cfg, std::move(traces));
+    Results r = sys.run(200'000'000);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(r.stats.get("cpu.squashes"), 0.0);
+}
+
+TEST(ForwardProgress, ChunkShrinkingKicksIn)
+{
+    // Heavy ping-pong: consecutive squashes must shrink retried
+    // chunks (observable as far more commits than the instruction
+    // count alone would produce).
+    const Addr v = 0x9000'0040;
+    auto mk = [&] {
+        std::vector<Op> ops;
+        for (int i = 0; i < 600; ++i) {
+            ops.push_back(load(v, 2));
+            ops.push_back(store(v, i, 2));
+        }
+        return makeTrace(ops);
+    };
+    MachineConfig cfg;
+    cfg.model = Model::BSCdypvt;
+    cfg.numProcs = 4;
+    System sys(cfg, {mk(), mk(), mk(), mk()});
+    Results r = sys.run(200'000'000);
+    ASSERT_TRUE(r.completed);
+    double instrs = r.stats.get("cpu.retired_instrs");
+    double commits = r.stats.get("bulk.commits");
+    ASSERT_GT(commits, 0.0);
+    // Full-size chunks would give instrs/commits ~= 1000.
+    EXPECT_LT(instrs / commits, 900.0);
+}
+
+TEST(ForwardProgress, PreArbitrationEventuallyFires)
+{
+    // Force an extremely low pre-arbitration threshold so the
+    // guarantee path itself is exercised end to end.
+    const Addr v = 0x9000'0080;
+    auto mk = [&] {
+        std::vector<Op> ops;
+        for (int i = 0; i < 400; ++i) {
+            ops.push_back(load(v, 1));
+            ops.push_back(store(v, i, 1));
+        }
+        return makeTrace(ops);
+    };
+    MachineConfig cfg;
+    cfg.model = Model::BSCdypvt;
+    cfg.numProcs = 8;
+    cfg.bulk.preArbThreshold = 2;
+    std::vector<Trace> traces;
+    for (int i = 0; i < 8; ++i)
+        traces.push_back(mk());
+    System sys(cfg, std::move(traces));
+    Results r = sys.run(400'000'000);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(r.stats.get("bulk.pre_arbitrations"), 0.0);
+}
+
+TEST(ForwardProgress, ContendedLocksAlwaysComplete)
+{
+    // All processors hammer one lock (Figure 6's scenarios arise
+    // naturally: acquire and release land in the same or different
+    // chunks at different times).
+    const Addr lock = layout::lockAddr(5);
+    auto mk = [&] {
+        std::vector<Op> ops;
+        for (int i = 0; i < 25; ++i) {
+            Op acq;
+            acq.type = OpType::Acquire;
+            acq.addr = lock;
+            acq.gap = 10;
+            ops.push_back(acq);
+            ops.push_back(store(0xB000'0000 + (i % 4) * 64, i, 5));
+            Op rel;
+            rel.type = OpType::Release;
+            rel.addr = lock;
+            rel.gap = 10;
+            ops.push_back(rel);
+        }
+        return makeTrace(ops);
+    };
+    for (Model m : {Model::BSCbase, Model::BSCdypvt, Model::BSCexact}) {
+        MachineConfig cfg;
+        cfg.model = m;
+        cfg.numProcs = 4;
+        System sys(cfg, {mk(), mk(), mk(), mk()});
+        Results r = sys.run(400'000'000);
+        EXPECT_TRUE(r.completed) << modelName(m);
+        // The lock must end up free.
+        EXPECT_EQ(sys.memory().readValue(lock), 0u) << modelName(m);
+    }
+}
+
+TEST(ForwardProgress, BarrierStormCompletes)
+{
+    // Back-to-back barriers with almost no work between them: the
+    // arrive/wait machinery must not livelock under any variant.
+    auto mk = [&] {
+        std::vector<Op> ops;
+        for (std::uint32_t b = 0; b < 6; ++b) {
+            Op arrive;
+            arrive.type = OpType::BarrierArrive;
+            arrive.addr = layout::kBarrierBase;
+            arrive.gap = 2;
+            arrive.aux = b;
+            ops.push_back(arrive);
+            Op wait = arrive;
+            wait.type = OpType::BarrierWait;
+            ops.push_back(wait);
+        }
+        return makeTrace(ops);
+    };
+    for (Model m : {Model::BSCbase, Model::BSCdypvt}) {
+        MachineConfig cfg;
+        cfg.model = m;
+        cfg.numProcs = 8;
+        cfg.cpu.numBarrierProcs = 8;
+        std::vector<Trace> traces;
+        for (int i = 0; i < 8; ++i)
+            traces.push_back(mk());
+        System sys(cfg, std::move(traces));
+        Results r = sys.run(400'000'000);
+        EXPECT_TRUE(r.completed) << modelName(m);
+    }
+}
+
+} // namespace
+} // namespace bulksc

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Robustness tests: degenerate traces, tiny machines, stress-level
+ * event interleavings — the inputs a downstream user will eventually
+ * feed the library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/system.hh"
+#include "workload/generator.hh"
+
+namespace bulksc {
+namespace {
+
+Trace
+emptyTrace()
+{
+    Trace t;
+    t.finalize();
+    return t;
+}
+
+Trace
+singleOpTrace(OpType type)
+{
+    Trace t;
+    Op op;
+    op.type = type;
+    op.addr = 0x9000'0000;
+    op.gap = 1;
+    op.tracked = true;
+    op.storeValue = 1;
+    if (type == OpType::BarrierArrive || type == OpType::BarrierWait)
+        op.aux = 0;
+    if (type == OpType::Acquire || type == OpType::Release)
+        op.addr = layout::lockAddr(0);
+    if (type == OpType::BarrierArrive || type == OpType::BarrierWait)
+        op.addr = layout::kBarrierBase;
+    t.ops.push_back(op);
+    t.finalize();
+    return t;
+}
+
+class RobustModels : public ::testing::TestWithParam<Model>
+{};
+
+TEST_P(RobustModels, EmptyTraceFinishesImmediately)
+{
+    MachineConfig cfg;
+    cfg.model = GetParam();
+    cfg.numProcs = 2;
+    System sys(cfg, {emptyTrace(), emptyTrace()});
+    Results r = sys.run(1'000'000);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.stats.get("cpu.retired_instrs"), 0.0);
+}
+
+TEST_P(RobustModels, SingleOpTracesComplete)
+{
+    for (OpType t : {OpType::Load, OpType::Store, OpType::Io}) {
+        MachineConfig cfg;
+        cfg.model = GetParam();
+        cfg.numProcs = 1;
+        System sys(cfg, {singleOpTrace(t)});
+        Results r = sys.run(10'000'000);
+        EXPECT_TRUE(r.completed)
+            << modelName(GetParam()) << " op "
+            << static_cast<int>(t);
+    }
+}
+
+TEST_P(RobustModels, UncontendedLockPairCompletes)
+{
+    Trace t;
+    Op acq;
+    acq.type = OpType::Acquire;
+    acq.addr = layout::lockAddr(0);
+    acq.gap = 1;
+    t.ops.push_back(acq);
+    Op rel = acq;
+    rel.type = OpType::Release;
+    t.ops.push_back(rel);
+    t.finalize();
+    MachineConfig cfg;
+    cfg.model = GetParam();
+    cfg.numProcs = 1;
+    System sys(cfg, {t});
+    Results r = sys.run(10'000'000);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST_P(RobustModels, SingleProcessorBarrierPassesTrivially)
+{
+    Trace t;
+    Op arrive;
+    arrive.type = OpType::BarrierArrive;
+    arrive.addr = layout::kBarrierBase;
+    arrive.gap = 1;
+    arrive.aux = 0;
+    t.ops.push_back(arrive);
+    Op wait = arrive;
+    wait.type = OpType::BarrierWait;
+    t.ops.push_back(wait);
+    t.finalize();
+    MachineConfig cfg;
+    cfg.model = GetParam();
+    cfg.numProcs = 1;
+    cfg.cpu.numBarrierProcs = 1;
+    System sys(cfg, {t});
+    Results r = sys.run(10'000'000);
+    EXPECT_TRUE(r.completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, RobustModels,
+                         ::testing::Values(Model::SC, Model::TSO,
+                                           Model::RC, Model::SCpp,
+                                           Model::BSCbase,
+                                           Model::BSCdypvt,
+                                           Model::BSCexact),
+                         [](const auto &info) {
+                             std::string n = modelName(info.param);
+                             for (auto &c : n) {
+                                 if (!isalnum(static_cast<unsigned char>(c)))
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(Robustness, MismatchedProcCountIsClamped)
+{
+    MachineConfig cfg;
+    cfg.model = Model::BSCdypvt;
+    cfg.numProcs = 8; // only 2 traces supplied
+    auto traces = generateTraces(profileByName("lu"), 2, 3000);
+    System sys(cfg, std::move(traces));
+    EXPECT_EQ(sys.numProcs(), 2u);
+    Results r = sys.run(50'000'000);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(Robustness, TinyChunksStillCorrect)
+{
+    MachineConfig cfg;
+    cfg.bulk.chunkSize = 16;
+    cfg.bulk.minChunkSize = 4;
+    Results r = runWorkload(Model::BSCdypvt, profileByName("barnes"),
+                            4, 6'000, &cfg);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.stats.get("bulk.commits"), 100.0);
+}
+
+TEST(Robustness, ManySmallRunsDoNotInterfere)
+{
+    // Systems are fully self-contained: interleaved constructions and
+    // runs must be deterministic.
+    Tick first = 0;
+    for (int i = 0; i < 5; ++i) {
+        Results r = runWorkload(Model::BSCdypvt,
+                                profileByName("water-sp"), 2, 4'000);
+        ASSERT_TRUE(r.completed);
+        if (i == 0)
+            first = r.execTime;
+        else
+            EXPECT_EQ(r.execTime, first);
+    }
+}
+
+} // namespace
+} // namespace bulksc

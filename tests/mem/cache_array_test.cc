@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the set-associative tag array: lookup, LRU
+ * replacement, victim filtering (the BDM's speculative-line
+ * protection), and set iteration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_array.hh"
+
+namespace bulksc {
+namespace {
+
+CacheGeometry
+tinyGeom()
+{
+    // 4 sets, 2 ways, 32 B lines.
+    return CacheGeometry{4 * 2 * 32, 2, 32};
+}
+
+TEST(CacheGeometry, DerivedQuantities)
+{
+    CacheGeometry g{32 * 1024, 4, 32};
+    EXPECT_EQ(g.numLines(), 1024u);
+    EXPECT_EQ(g.numSets(), 256u);
+    EXPECT_EQ(g.setIndex(0x100), 0x100u % 256);
+}
+
+TEST(CacheArray, MissThenHit)
+{
+    CacheArray c(tinyGeom());
+    EXPECT_EQ(c.lookup(7), nullptr);
+    std::optional<Victim> vic;
+    c.insert(7, LineState::Shared, nullptr, vic);
+    EXPECT_FALSE(vic.has_value());
+    CacheLine *l = c.lookup(7);
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->state, LineState::Shared);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheArray, LruEvictsLeastRecentlyUsed)
+{
+    CacheArray c(tinyGeom());
+    std::optional<Victim> vic;
+    // Lines 0, 4, 8 all map to set 0 (4 sets); 2 ways.
+    c.insert(0, LineState::Shared, nullptr, vic);
+    c.insert(4, LineState::Shared, nullptr, vic);
+    c.lookup(0); // 0 is now MRU; 4 is LRU
+    c.insert(8, LineState::Shared, nullptr, vic);
+    ASSERT_TRUE(vic.has_value());
+    EXPECT_EQ(vic->line, 4u);
+    EXPECT_FALSE(vic->dirty);
+    EXPECT_NE(c.peek(0), nullptr);
+    EXPECT_EQ(c.peek(4), nullptr);
+    EXPECT_NE(c.peek(8), nullptr);
+}
+
+TEST(CacheArray, CleanVictimPreferredOverDirty)
+{
+    // Clean-first LRU: the dirty line survives while a clean line is
+    // available, even though the dirty one is least recently used.
+    CacheArray c(tinyGeom());
+    std::optional<Victim> vic;
+    c.insert(0, LineState::Dirty, nullptr, vic);
+    c.insert(4, LineState::Shared, nullptr, vic);
+    c.insert(8, LineState::Shared, nullptr, vic);
+    ASSERT_TRUE(vic.has_value());
+    EXPECT_EQ(vic->line, 4u);
+    EXPECT_FALSE(vic->dirty);
+    EXPECT_NE(c.peek(0), nullptr);
+}
+
+TEST(CacheArray, DirtyVictimFlaggedWhenSetAllDirty)
+{
+    CacheArray c(tinyGeom());
+    std::optional<Victim> vic;
+    c.insert(0, LineState::Dirty, nullptr, vic);
+    c.insert(4, LineState::Dirty, nullptr, vic);
+    c.insert(8, LineState::Shared, nullptr, vic);
+    ASSERT_TRUE(vic.has_value());
+    EXPECT_EQ(vic->line, 0u);
+    EXPECT_TRUE(vic->dirty);
+}
+
+TEST(CacheArray, VictimFilterProtectsLines)
+{
+    CacheArray c(tinyGeom());
+    std::optional<Victim> vic;
+    c.insert(0, LineState::Dirty, nullptr, vic);
+    c.insert(4, LineState::Shared, nullptr, vic);
+    // Line 0 is "speculative": the filter vetoes it, so 4 is evicted
+    // even though 0 is LRU.
+    auto filter = [](LineAddr l) { return l != 0; };
+    c.insert(8, LineState::Shared, filter, vic);
+    ASSERT_TRUE(vic.has_value());
+    EXPECT_EQ(vic->line, 4u);
+    EXPECT_NE(c.peek(0), nullptr);
+}
+
+TEST(CacheArray, InsertFailsWhenAllWaysVetoed)
+{
+    CacheArray c(tinyGeom());
+    std::optional<Victim> vic;
+    c.insert(0, LineState::Dirty, nullptr, vic);
+    c.insert(4, LineState::Dirty, nullptr, vic);
+    auto veto_all = [](LineAddr) { return false; };
+    CacheLine *l = c.insert(8, LineState::Shared, veto_all, vic);
+    EXPECT_EQ(l, nullptr);
+    EXPECT_FALSE(vic.has_value());
+}
+
+TEST(CacheArray, ReinsertUpdatesInPlace)
+{
+    CacheArray c(tinyGeom());
+    std::optional<Victim> vic;
+    c.insert(3, LineState::Shared, nullptr, vic);
+    c.insert(3, LineState::Dirty, nullptr, vic);
+    EXPECT_FALSE(vic.has_value());
+    EXPECT_EQ(c.peek(3)->state, LineState::Dirty);
+}
+
+TEST(CacheArray, InvalidateReturnsPriorState)
+{
+    CacheArray c(tinyGeom());
+    std::optional<Victim> vic;
+    c.insert(5, LineState::Dirty, nullptr, vic);
+    EXPECT_EQ(c.invalidate(5), LineState::Dirty);
+    EXPECT_EQ(c.invalidate(5), LineState::Invalid);
+    EXPECT_EQ(c.peek(5), nullptr);
+}
+
+TEST(CacheArray, CountVetoedCountsOnlyMatchingSet)
+{
+    CacheArray c(tinyGeom());
+    std::optional<Victim> vic;
+    c.insert(0, LineState::Dirty, nullptr, vic); // set 0
+    c.insert(4, LineState::Dirty, nullptr, vic); // set 0
+    c.insert(1, LineState::Dirty, nullptr, vic); // set 1
+    auto veto_all = [](LineAddr) { return false; };
+    EXPECT_EQ(c.countVetoed(8, veto_all), 2u);
+    EXPECT_EQ(c.countVetoed(5, veto_all), 1u);
+}
+
+TEST(CacheArray, ForEachInSetVisitsValidLines)
+{
+    CacheArray c(tinyGeom());
+    std::optional<Victim> vic;
+    c.insert(0, LineState::Shared, nullptr, vic);
+    c.insert(4, LineState::Dirty, nullptr, vic);
+    unsigned n = 0;
+    c.forEachInSet(0, [&](CacheLine &) { ++n; });
+    EXPECT_EQ(n, 2u);
+    n = 0;
+    c.forEachInSet(1, [&](CacheLine &) { ++n; });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(CacheArray, ForEachVisitsWholeArray)
+{
+    CacheArray c(tinyGeom());
+    std::optional<Victim> vic;
+    for (LineAddr l = 0; l < 6; ++l)
+        c.insert(l, LineState::Shared, nullptr, vic);
+    unsigned n = 0;
+    c.forEach([&](CacheLine &) { ++n; });
+    EXPECT_EQ(n, 6u);
+}
+
+} // namespace
+} // namespace bulksc

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the directory and DirBDM, including the full Table 1
+ * action matrix for signature expansion and the directory-cache
+ * displacement protocol of Section 4.3.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/directory.hh"
+
+namespace bulksc {
+namespace {
+
+Signature
+sigOf(std::initializer_list<LineAddr> lines,
+      const SignatureConfig &cfg = SignatureConfig{})
+{
+    Signature s(cfg);
+    for (LineAddr l : lines)
+        s.insert(l);
+    return s;
+}
+
+TEST(Directory, RecordReadAddsSharer)
+{
+    Directory dir(SignatureConfig{}, 8);
+    std::vector<DirDisplacement> disp;
+    dir.recordRead(100, 3, disp);
+    const DirEntry *e = dir.peek(100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->isSharer(3));
+    EXPECT_FALSE(e->dirty);
+    EXPECT_TRUE(disp.empty());
+}
+
+TEST(Directory, RecordReadExInvalidatesOthers)
+{
+    Directory dir(SignatureConfig{}, 8);
+    std::vector<DirDisplacement> disp;
+    dir.recordRead(100, 1, disp);
+    dir.recordRead(100, 2, disp);
+    std::uint32_t inval = dir.recordReadEx(100, 3, disp);
+    EXPECT_EQ(inval, (1u << 1) | (1u << 2));
+    const DirEntry *e = dir.peek(100);
+    EXPECT_TRUE(e->dirty);
+    EXPECT_EQ(e->owner, 3u);
+    EXPECT_EQ(e->sharers, 1u << 3);
+}
+
+TEST(Directory, WritebackClearsDirtyOnlyForOwner)
+{
+    Directory dir(SignatureConfig{}, 8);
+    std::vector<DirDisplacement> disp;
+    dir.recordReadEx(7, 2, disp);
+    dir.recordWriteback(7, 5); // not the owner: ignored
+    EXPECT_TRUE(dir.peek(7)->dirty);
+    dir.recordWriteback(7, 2);
+    EXPECT_FALSE(dir.peek(7)->dirty);
+}
+
+TEST(Directory, DropSharerClearsBitAndOwnership)
+{
+    Directory dir(SignatureConfig{}, 8);
+    std::vector<DirDisplacement> disp;
+    dir.recordReadEx(9, 4, disp);
+    dir.dropSharer(9, 4);
+    const DirEntry *e = dir.peek(9);
+    EXPECT_FALSE(e->isSharer(4));
+    EXPECT_FALSE(e->dirty);
+}
+
+// --- Table 1: the four states of an entry selected by expansion ---
+
+TEST(DirectoryTable1, Case1FalsePositiveCleanNotSharer)
+{
+    // Not dirty, committing proc NOT in bit vector: false positive,
+    // no action.
+    Directory dir(SignatureConfig{}, 8);
+    std::vector<DirDisplacement> disp;
+    dir.recordRead(100, 1, disp); // only proc 1 shares
+
+    ExpansionResult res = dir.expand(sigOf({100}), /*committer=*/2);
+    EXPECT_EQ(res.invalidationList, 0u);
+    EXPECT_FALSE(dir.peek(100)->dirty);
+    EXPECT_TRUE(dir.peek(100)->isSharer(1));
+    EXPECT_EQ(res.lookups, 1u);
+    // The line is in W's exact mirror, so it is not counted as an
+    // aliased lookup even though the directory takes no action.
+    EXPECT_EQ(res.aliasLookups, 0u);
+}
+
+TEST(DirectoryTable1, Case2CommitterBecomesOwner)
+{
+    // Not dirty, committing proc in vector: committer becomes owner,
+    // other sharers join the Invalidation List.
+    Directory dir(SignatureConfig{}, 8);
+    std::vector<DirDisplacement> disp;
+    dir.recordRead(100, 1, disp);
+    dir.recordRead(100, 2, disp);
+    dir.recordRead(100, 5, disp);
+
+    ExpansionResult res = dir.expand(sigOf({100}), /*committer=*/2);
+    EXPECT_EQ(res.invalidationList, (1u << 1) | (1u << 5));
+    const DirEntry *e = dir.peek(100);
+    EXPECT_TRUE(e->dirty);
+    EXPECT_EQ(e->owner, 2u);
+    EXPECT_EQ(e->sharers, 1u << 2);
+    EXPECT_EQ(res.updates, 1u);
+    EXPECT_EQ(res.aliasUpdates, 0u);
+}
+
+TEST(DirectoryTable1, Case3FalsePositiveDirtyNotSharer)
+{
+    // Dirty, committing proc not in vector: false positive, no action.
+    Directory dir(SignatureConfig{}, 8);
+    std::vector<DirDisplacement> disp;
+    dir.recordReadEx(100, 6, disp);
+
+    ExpansionResult res = dir.expand(sigOf({100}), /*committer=*/2);
+    EXPECT_EQ(res.invalidationList, 0u);
+    const DirEntry *e = dir.peek(100);
+    EXPECT_TRUE(e->dirty);
+    EXPECT_EQ(e->owner, 6u);
+}
+
+TEST(DirectoryTable1, Case4CommitterAlreadyOwner)
+{
+    // Dirty and committing proc is the owner: nothing to do.
+    Directory dir(SignatureConfig{}, 8);
+    std::vector<DirDisplacement> disp;
+    dir.recordReadEx(100, 2, disp);
+
+    ExpansionResult res = dir.expand(sigOf({100}), /*committer=*/2);
+    EXPECT_EQ(res.invalidationList, 0u);
+    EXPECT_TRUE(dir.peek(100)->dirty);
+    EXPECT_EQ(dir.peek(100)->owner, 2u);
+    EXPECT_EQ(res.updates, 0u);
+}
+
+TEST(DirectoryExpansion, EmptySignatureDoesNothing)
+{
+    Directory dir(SignatureConfig{}, 8);
+    std::vector<DirDisplacement> disp;
+    dir.recordRead(1, 0, disp);
+    ExpansionResult res = dir.expand(Signature{}, 0);
+    EXPECT_EQ(res.lookups, 0u);
+    EXPECT_EQ(res.invalidationList, 0u);
+}
+
+TEST(DirectoryExpansion, AliasedLookupsAreCountedAsUnnecessary)
+{
+    // Insert many directory entries; expand a W of a few lines and
+    // verify that any lookup of a line not truly written is counted
+    // as an aliased (unnecessary) lookup — Table 4's column.
+    Directory dir(SignatureConfig{}, 8);
+    std::vector<DirDisplacement> disp;
+    for (LineAddr l = 0; l < 4000; ++l)
+        dir.recordRead(l, 1, disp);
+
+    Signature w = sigOf({10, 20, 30});
+    ExpansionResult res = dir.expand(w, 1);
+    EXPECT_GE(res.lookups, 3u);
+    EXPECT_EQ(res.lookups - res.aliasLookups, 3u);
+}
+
+TEST(DirectoryExpansion, MultipleLinesAccumulateInvalidations)
+{
+    Directory dir(SignatureConfig{}, 8);
+    std::vector<DirDisplacement> disp;
+    dir.recordRead(64, 0, disp);
+    dir.recordRead(64, 1, disp);
+    dir.recordRead(65, 0, disp);
+    dir.recordRead(65, 3, disp);
+
+    ExpansionResult res = dir.expand(sigOf({64, 65}), 0);
+    EXPECT_EQ(res.invalidationList, (1u << 1) | (1u << 3));
+    EXPECT_TRUE(dir.peek(64)->dirty);
+    EXPECT_TRUE(dir.peek(65)->dirty);
+}
+
+// --- Directory cache (Section 4.3.3) ---
+
+TEST(DirectoryCache, DisplacesOldestWhenFull)
+{
+    Directory dir(SignatureConfig{}, 8, /*max_entries=*/4);
+    std::vector<DirDisplacement> disp;
+    for (LineAddr l = 0; l < 4; ++l)
+        dir.recordRead(l, 1, disp);
+    EXPECT_TRUE(disp.empty());
+    EXPECT_EQ(dir.entryCount(), 4u);
+
+    dir.recordRead(100, 2, disp);
+    ASSERT_EQ(disp.size(), 1u);
+    EXPECT_EQ(disp[0].line, 0u);
+    EXPECT_EQ(disp[0].sharers, 1u << 1);
+    EXPECT_EQ(dir.entryCount(), 4u);
+    EXPECT_EQ(dir.peek(0), nullptr);
+    EXPECT_NE(dir.peek(100), nullptr);
+}
+
+TEST(DirectoryCache, DisplacementCarriesDirtyOwner)
+{
+    Directory dir(SignatureConfig{}, 8, 2);
+    std::vector<DirDisplacement> disp;
+    dir.recordReadEx(1, 5, disp);
+    dir.recordRead(2, 0, disp);
+    dir.recordRead(3, 0, disp);
+    ASSERT_EQ(disp.size(), 1u);
+    EXPECT_EQ(disp[0].line, 1u);
+    EXPECT_TRUE(disp[0].dirty);
+    EXPECT_EQ(disp[0].owner, 5u);
+}
+
+TEST(DirectoryCache, FullMappedNeverDisplaces)
+{
+    Directory dir(SignatureConfig{}, 8, 0);
+    std::vector<DirDisplacement> disp;
+    for (LineAddr l = 0; l < 10000; ++l)
+        dir.recordRead(l, 0, disp);
+    EXPECT_TRUE(disp.empty());
+    EXPECT_EQ(dir.entryCount(), 10000u);
+}
+
+} // namespace
+} // namespace bulksc

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit and property tests for Bulk signatures: superset encoding (no
+ * false negatives), primitive operations, exact mode, decode, and
+ * compression.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "signature/signature.hh"
+#include "sim/rng.hh"
+
+namespace bulksc {
+namespace {
+
+TEST(Signature, EmptyAfterConstruction)
+{
+    Signature s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.exactSize(), 0u);
+    EXPECT_FALSE(s.contains(0x1234));
+}
+
+TEST(Signature, InsertThenContains)
+{
+    Signature s;
+    s.insert(0xABCD);
+    EXPECT_FALSE(s.empty());
+    EXPECT_TRUE(s.contains(0xABCD));
+    EXPECT_TRUE(s.containsExact(0xABCD));
+    EXPECT_EQ(s.exactSize(), 1u);
+}
+
+TEST(Signature, ClearEmpties)
+{
+    Signature s;
+    s.insert(1);
+    s.insert(2);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.contains(1));
+    EXPECT_EQ(s.exactSize(), 0u);
+}
+
+/** Superset encoding: a member is NEVER reported absent. */
+TEST(SignatureProperty, NoFalseNegatives)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        Signature s;
+        std::vector<LineAddr> inserted;
+        for (int i = 0; i < 100; ++i) {
+            LineAddr l = rng.next() & 0xFFFFFFFF;
+            s.insert(l);
+            inserted.push_back(l);
+        }
+        for (LineAddr l : inserted)
+            EXPECT_TRUE(s.contains(l));
+    }
+}
+
+/** Intersection never misses a genuinely common address. */
+TEST(SignatureProperty, IntersectionIsConservative)
+{
+    Rng rng(11);
+    for (int trial = 0; trial < 50; ++trial) {
+        Signature a, b;
+        for (int i = 0; i < 20; ++i)
+            a.insert(rng.next() & 0xFFFFFF);
+        for (int i = 0; i < 20; ++i)
+            b.insert(rng.next() & 0xFFFFFF);
+        LineAddr common = rng.next() & 0xFFFFFF;
+        a.insert(common);
+        b.insert(common);
+        EXPECT_TRUE(a.intersects(b));
+        EXPECT_TRUE(a.intersectsExact(b));
+    }
+}
+
+TEST(Signature, DisjointSmallSetsUsuallyDontIntersect)
+{
+    // With one line each on different cache sets and different high
+    // bits, the banked AND must be empty.
+    Signature a, b;
+    a.insert(0x10);
+    b.insert(0x20);
+    EXPECT_FALSE(a.intersectsExact(b));
+    EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(Signature, UnionContainsBoth)
+{
+    Signature a, b;
+    a.insert(1);
+    a.insert(2);
+    b.insert(3);
+    a.unionWith(b);
+    EXPECT_TRUE(a.contains(1));
+    EXPECT_TRUE(a.contains(2));
+    EXPECT_TRUE(a.contains(3));
+    EXPECT_EQ(a.exactSize(), 3u);
+}
+
+TEST(Signature, ExactModeHasNoAliases)
+{
+    SignatureConfig cfg;
+    cfg.exact = true;
+    Rng rng(3);
+    Signature s(cfg);
+    std::unordered_set<LineAddr> in;
+    for (int i = 0; i < 500; ++i) {
+        LineAddr l = rng.next() & 0xFFFFF;
+        s.insert(l);
+        in.insert(l);
+    }
+    for (int i = 0; i < 5000; ++i) {
+        LineAddr l = rng.next() & 0xFFFFF;
+        EXPECT_EQ(s.contains(l), in.count(l) != 0);
+    }
+}
+
+TEST(Signature, ExactIntersectionIsPrecise)
+{
+    SignatureConfig cfg;
+    cfg.exact = true;
+    Signature a(cfg), b(cfg);
+    for (LineAddr l = 0; l < 100; ++l)
+        a.insert(l);
+    for (LineAddr l = 100; l < 200; ++l)
+        b.insert(l);
+    EXPECT_FALSE(a.intersects(b));
+    b.insert(50);
+    EXPECT_TRUE(a.intersects(b));
+}
+
+/** Bloom mode must alias eventually (it is a superset encoding). */
+TEST(SignatureProperty, BloomModeAliases)
+{
+    Signature s;
+    Rng rng(23);
+    for (int i = 0; i < 400; ++i)
+        s.insert(rng.next() & 0x3FFFFF);
+    unsigned false_pos = 0;
+    for (int i = 0; i < 20000; ++i) {
+        LineAddr l = rng.next() & 0x3FFFFF;
+        if (s.contains(l) && !s.containsExact(l))
+            ++false_pos;
+    }
+    EXPECT_GT(false_pos, 0u);
+}
+
+TEST(Signature, DecodeBank0CoversMembers)
+{
+    Signature s;
+    std::vector<LineAddr> lines = {0x100, 0x3FF, 0x12345, 0x777};
+    for (LineAddr l : lines)
+        s.insert(l);
+    auto decoded = s.decodeBank0();
+    std::unordered_set<std::uint32_t> set(decoded.begin(),
+                                          decoded.end());
+    for (LineAddr l : lines)
+        EXPECT_TRUE(set.count(s.bank0Index(l)));
+}
+
+TEST(Signature, Bank0IndexIsLowBits)
+{
+    Signature s;
+    // Bank 0 keeps identity low bits so cache-set decode works.
+    EXPECT_EQ(s.bank0Index(0x123),
+              0x123u & (s.config().bitsPerBank() - 1));
+}
+
+TEST(Signature, CompressionSmallerForSparseSigs)
+{
+    Signature sparse, dense;
+    sparse.insert(42);
+    Rng rng(5);
+    for (int i = 0; i < 600; ++i)
+        dense.insert(rng.next());
+    EXPECT_LT(sparse.compressedBits(), dense.compressedBits());
+    // An almost-empty signature compresses far below the raw 2 Kbit.
+    EXPECT_LT(sparse.compressedBits(), 200u);
+    // Compression never exceeds bitmap + headers.
+    EXPECT_LE(dense.compressedBits(),
+              dense.config().totalBits + 8 * dense.config().numBanks);
+}
+
+TEST(Signature, PopCountGrowsWithInsertions)
+{
+    Signature s;
+    unsigned prev = s.popCount();
+    EXPECT_EQ(prev, 0u);
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        s.insert(rng.next());
+    EXPECT_GT(s.popCount(), 0u);
+    EXPECT_LE(s.popCount(), 50u * s.config().numBanks);
+}
+
+/** Parameterized sweep over signature geometries. */
+class SignatureGeometry
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{};
+
+TEST_P(SignatureGeometry, RoundTripMembers)
+{
+    auto [bits, banks] = GetParam();
+    SignatureConfig cfg;
+    cfg.totalBits = bits;
+    cfg.numBanks = banks;
+    Signature s(cfg);
+    Rng rng(bits + banks);
+    std::vector<LineAddr> lines;
+    for (int i = 0; i < 64; ++i) {
+        LineAddr l = rng.next() & 0xFFFFFFF;
+        lines.push_back(l);
+        s.insert(l);
+    }
+    for (LineAddr l : lines)
+        EXPECT_TRUE(s.contains(l));
+    s.clear();
+    EXPECT_TRUE(s.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SignatureGeometry,
+    ::testing::Values(std::make_pair(512u, 2u),
+                      std::make_pair(1024u, 4u),
+                      std::make_pair(2048u, 4u),
+                      std::make_pair(2048u, 8u),
+                      std::make_pair(4096u, 4u),
+                      std::make_pair(8192u, 8u)));
+
+} // namespace
+} // namespace bulksc

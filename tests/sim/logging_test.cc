@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace bulksc {
+namespace {
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved = isQuiet(); }
+    void TearDown() override { setQuiet(saved); }
+
+    bool saved = false;
+};
+
+TEST_F(LoggingTest, FormatConcatenatesMixedTypes)
+{
+    EXPECT_EQ(detail::format("x=", 42, " y=", 2.5, " z"),
+              "x=42 y=2.5 z");
+    EXPECT_EQ(detail::format(), "");
+}
+
+TEST_F(LoggingTest, WarnPrintsUnlessQuiet)
+{
+    setQuiet(false);
+    testing::internal::CaptureStderr();
+    warn("something ", 7);
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "warn: something 7"),
+              std::string::npos);
+
+    setQuiet(true);
+    testing::internal::CaptureStderr();
+    warn("hidden");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, InformGoesToStdout)
+{
+    setQuiet(false);
+    testing::internal::CaptureStdout();
+    inform("status ", 1);
+    EXPECT_NE(testing::internal::GetCapturedStdout().find(
+                  "info: status 1"),
+              std::string::npos);
+}
+
+TEST_F(LoggingTest, QuietFlagRoundTrips)
+{
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    setQuiet(false);
+    EXPECT_FALSE(isQuiet());
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH({ panic("boom ", 3); }, "panic: boom 3");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT({ fatal("bad config ", 9); },
+                ::testing::ExitedWithCode(1), "fatal: bad config 9");
+}
+
+TEST(LoggingDeath, PanicIfOnlyFiresWhenTrue)
+{
+    panic_if(false, "must not fire");
+    EXPECT_DEATH({ panic_if(1 + 1 == 2, "fires"); }, "fires");
+}
+
+TEST(LoggingDeath, FatalIfOnlyFiresWhenTrue)
+{
+    fatal_if(false, "must not fire");
+    EXPECT_EXIT({ fatal_if(true, "fires"); },
+                ::testing::ExitedWithCode(1), "fires");
+}
+
+} // namespace
+} // namespace bulksc

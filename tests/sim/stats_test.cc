@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace bulksc {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, MeanOverSamples)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_DOUBLE_EQ(a.total(), 6.0);
+}
+
+TEST(Distribution, TracksMinMaxMean)
+{
+    Distribution d;
+    d.sample(5.0);
+    d.sample(-1.0);
+    d.sample(2.0);
+    EXPECT_DOUBLE_EQ(d.min(), -1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 5.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(StatGroup, SetGetAddMerge)
+{
+    StatGroup g;
+    EXPECT_FALSE(g.has("x"));
+    EXPECT_DOUBLE_EQ(g.get("x", -1.0), -1.0);
+    g.set("x", 3.0);
+    g.add("x", 2.0);
+    EXPECT_DOUBLE_EQ(g.get("x"), 5.0);
+
+    StatGroup h;
+    h.set("y", 7.0);
+    h.set("x", 1.0);
+    g.merge(h);
+    EXPECT_DOUBLE_EQ(g.get("x"), 1.0);
+    EXPECT_DOUBLE_EQ(g.get("y"), 7.0);
+}
+
+TEST(StatGroup, DumpIsSortedAndPrefixed)
+{
+    StatGroup g;
+    g.set("b", 2);
+    g.set("a", 1);
+    std::ostringstream os;
+    g.dump(os, "pre.");
+    EXPECT_EQ(os.str(), "pre.a 1\npre.b 2\n");
+}
+
+TEST(GeoMean, MatchesClosedForm)
+{
+    EXPECT_DOUBLE_EQ(geoMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geoMean({4.0}), 4.0);
+    EXPECT_NEAR(geoMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+} // namespace
+} // namespace bulksc

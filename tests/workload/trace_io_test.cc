@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for trace bundle save/load: round-tripping, format
+ * robustness, and replay equivalence (a reloaded bundle produces a
+ * bit-identical simulation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "system/system.hh"
+#include "workload/generator.hh"
+#include "workload/trace_io.hh"
+
+namespace bulksc {
+namespace {
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = ::testing::TempDir() + "bulksc_traces_" +
+               std::to_string(::getpid()) + ".bin";
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesEveryField)
+{
+    AppProfile app = profileByName("radiosity");
+    app.trackAllValues = true;
+    auto traces = generateTraces(app, 3, 8000);
+    ASSERT_TRUE(saveTraces(path, traces));
+
+    auto loaded = loadTraces(path);
+    ASSERT_EQ(loaded.size(), traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        ASSERT_EQ(loaded[i].ops.size(), traces[i].ops.size());
+        EXPECT_EQ(loaded[i].totalInstrs(), traces[i].totalInstrs());
+        for (std::size_t j = 0; j < traces[i].ops.size(); ++j) {
+            const Op &a = traces[i].ops[j];
+            const Op &b = loaded[i].ops[j];
+            ASSERT_EQ(a.addr, b.addr);
+            ASSERT_EQ(a.gap, b.gap);
+            ASSERT_EQ(a.aux, b.aux);
+            ASSERT_EQ(a.storeValue, b.storeValue);
+            ASSERT_EQ(a.type, b.type);
+            ASSERT_EQ(a.stackRef, b.stackRef);
+            ASSERT_EQ(a.tracked, b.tracked);
+        }
+    }
+}
+
+TEST_F(TraceIoTest, ReplayIsBitIdentical)
+{
+    auto traces = generateTraces(profileByName("lu"), 4, 10000);
+    ASSERT_TRUE(saveTraces(path, traces));
+    auto loaded = loadTraces(path);
+    ASSERT_EQ(loaded.size(), 4u);
+
+    MachineConfig cfg;
+    cfg.model = Model::BSCdypvt;
+    cfg.numProcs = 4;
+    System a(cfg, std::move(traces));
+    Results ra = a.run();
+    System b(cfg, std::move(loaded));
+    Results rb = b.run();
+    EXPECT_EQ(ra.execTime, rb.execTime);
+    EXPECT_DOUBLE_EQ(ra.stats.get("net.bits.total"),
+                     rb.stats.get("net.bits.total"));
+    EXPECT_DOUBLE_EQ(ra.stats.get("cpu.squashes"),
+                     rb.stats.get("cpu.squashes"));
+}
+
+TEST_F(TraceIoTest, MissingFileIsEmpty)
+{
+    setQuiet(true);
+    EXPECT_TRUE(loadTraces("/nonexistent/nope.bin").empty());
+}
+
+TEST_F(TraceIoTest, GarbageFileIsRejected)
+{
+    setQuiet(true);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a trace bundle at all", f);
+    std::fclose(f);
+    EXPECT_TRUE(loadTraces(path).empty());
+}
+
+TEST_F(TraceIoTest, TruncatedBundleIsRejected)
+{
+    setQuiet(true);
+    auto traces = generateTraces(profileByName("barnes"), 2, 4000);
+    ASSERT_TRUE(saveTraces(path, traces));
+    // Chop the file in half.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+    EXPECT_TRUE(loadTraces(path).empty());
+}
+
+} // namespace
+} // namespace bulksc

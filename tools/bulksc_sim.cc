@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Command-line simulator driver: run any workload under any model
+ * with configurable machine parameters and dump the full statistics.
+ *
+ *   bulksc_sim [options]
+ *     --model NAME      SC | RC | SC++ | BSCbase | BSCdypvt |
+ *                       BSCstpvt | BSCexact        (default BSCdypvt)
+ *     --app NAME        one of the 13 workload profiles, or "list"
+ *                       (default ocean)
+ *     --procs N         processor count               (default 8)
+ *     --instrs N        instructions per processor    (default 100000)
+ *     --chunk N         chunk size in instructions    (default 1000)
+ *     --sig-bits N      signature size in bits        (default 2048)
+ *     --sig-banks N     signature banks               (default 4)
+ *     --arbiters N      arbiter modules (1 = central) (default 1)
+ *     --dirs N          directory modules             (default 1)
+ *     --dir-cache N     directory-cache entries (0 = full map)
+ *     --no-rsig         disable the RSig optimization
+ *     --no-warm         skip functional cache warming
+ *     --contention      model destination-link contention
+ *     --seed-salt N     vary the generated traces
+ *     --verify          run the SC conformance checker (BulkSC
+ *                       models; forces value tracking)
+ *     --save-traces F   write the generated trace bundle to F
+ *     --load-traces F   replay a saved trace bundle instead
+ *     --stats           dump every statistic (default: summary)
+ *     --json            dump every statistic as a JSON object
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "system/system.hh"
+#include "workload/app_profiles.hh"
+#include "workload/generator.hh"
+#include "workload/trace_io.hh"
+
+using namespace bulksc;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--model M] [--app A] [--procs N] "
+                 "[--instrs N]\n"
+                 "          [--chunk N] [--sig-bits N] [--sig-banks N]"
+                 "\n"
+                 "          [--arbiters N] [--dirs N] [--dir-cache N]"
+                 "\n"
+                 "          [--no-rsig] [--no-warm] [--contention] "
+                 "[--seed-salt N] [--stats]\n",
+                 argv0);
+    std::exit(1);
+}
+
+std::uint64_t
+numArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage(argv[0]);
+    return std::strtoull(argv[++i], nullptr, 10);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    std::string model_name = "BSCdypvt";
+    std::string app_name = "ocean";
+    unsigned procs = 8;
+    std::uint64_t instrs = 100'000;
+    std::uint64_t seed_salt = 0;
+    bool dump_all = false;
+    bool json_out = false;
+    bool verify = false;
+    std::string save_path, load_path;
+    MachineConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--model")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            model_name = argv[++i];
+        } else if (!std::strcmp(a, "--app")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            app_name = argv[++i];
+        } else if (!std::strcmp(a, "--procs")) {
+            procs = static_cast<unsigned>(numArg(argc, argv, i));
+        } else if (!std::strcmp(a, "--instrs")) {
+            instrs = numArg(argc, argv, i);
+        } else if (!std::strcmp(a, "--chunk")) {
+            cfg.bulk.chunkSize =
+                static_cast<unsigned>(numArg(argc, argv, i));
+        } else if (!std::strcmp(a, "--sig-bits")) {
+            cfg.bulk.sigCfg.totalBits =
+                static_cast<unsigned>(numArg(argc, argv, i));
+        } else if (!std::strcmp(a, "--sig-banks")) {
+            cfg.bulk.sigCfg.numBanks =
+                static_cast<unsigned>(numArg(argc, argv, i));
+        } else if (!std::strcmp(a, "--arbiters")) {
+            cfg.numArbiters =
+                static_cast<unsigned>(numArg(argc, argv, i));
+        } else if (!std::strcmp(a, "--dirs")) {
+            cfg.mem.numDirectories =
+                static_cast<unsigned>(numArg(argc, argv, i));
+        } else if (!std::strcmp(a, "--dir-cache")) {
+            cfg.mem.dirCacheEntries = numArg(argc, argv, i);
+        } else if (!std::strcmp(a, "--no-rsig")) {
+            cfg.bulk.rsigOpt = false;
+        } else if (!std::strcmp(a, "--no-warm")) {
+            cfg.warmCaches = false;
+        } else if (!std::strcmp(a, "--contention")) {
+            cfg.net.modelContention = true;
+        } else if (!std::strcmp(a, "--seed-salt")) {
+            seed_salt = numArg(argc, argv, i);
+        } else if (!std::strcmp(a, "--stats")) {
+            dump_all = true;
+        } else if (!std::strcmp(a, "--json")) {
+            json_out = true;
+        } else if (!std::strcmp(a, "--verify")) {
+            verify = true;
+        } else if (!std::strcmp(a, "--save-traces")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            save_path = argv[++i];
+        } else if (!std::strcmp(a, "--load-traces")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            load_path = argv[++i];
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (app_name == "list") {
+        for (const AppProfile &p : allProfiles())
+            std::printf("%s\n", p.name.c_str());
+        return 0;
+    }
+
+    cfg.model = modelByName(model_name);
+    cfg.numProcs = procs;
+    AppProfile app = profileByName(app_name);
+    if (verify)
+        app.trackAllValues = true;
+
+    std::vector<Trace> traces;
+    if (!load_path.empty()) {
+        traces = loadTraces(load_path);
+        if (traces.empty())
+            return 1;
+    } else {
+        traces = generateTraces(app, procs, instrs, seed_salt);
+    }
+    if (!save_path.empty() && !saveTraces(save_path, traces))
+        return 1;
+
+    System sys(cfg, std::move(traces));
+    if (verify)
+        sys.enableScVerification();
+    Results res = sys.run();
+
+    if (json_out) {
+        std::printf("{\n  \"model\": \"%s\",\n  \"app\": \"%s\","
+                    "\n  \"procs\": %u,\n  \"completed\": %s",
+                    modelName(cfg.model), app.name.c_str(), procs,
+                    res.completed ? "true" : "false");
+        for (const auto &[k, v] : res.stats.entries())
+            std::printf(",\n  \"%s\": %.17g", k.c_str(), v);
+        std::printf("\n}\n");
+        return res.completed ? 0 : 2;
+    }
+
+    std::printf("model=%s app=%s procs=%u instrs/proc=%llu\n",
+                modelName(cfg.model), app.name.c_str(), procs,
+                static_cast<unsigned long long>(instrs));
+    std::printf("completed=%s exec_time=%llu cycles\n",
+                res.completed ? "yes" : "NO",
+                static_cast<unsigned long long>(res.execTime));
+    if (verify && sys.scVerifier()) {
+        const ScVerifier *v = sys.scVerifier();
+        std::printf("sc-verify: %s (%llu chunks, %llu reads "
+                    "checked)\n",
+                    v->verified() ? "PASS" : "FAIL",
+                    static_cast<unsigned long long>(
+                        v->chunksChecked()),
+                    static_cast<unsigned long long>(
+                        v->readsChecked()));
+        for (const std::string &e : v->errors())
+            std::printf("  %s\n", e.c_str());
+        if (!v->verified())
+            return 3;
+    }
+
+    if (dump_all) {
+        std::ostringstream os;
+        res.stats.dump(os);
+        std::fputs(os.str().c_str(), stdout);
+        return res.completed ? 0 : 2;
+    }
+
+    std::printf("retired=%.0f wasted=%.0f (%.2f%% squashed) "
+                "squashes=%.0f\n",
+                res.stats.get("cpu.retired_instrs"),
+                res.stats.get("cpu.wasted_instrs"),
+                res.stats.get("cpu.squashed_instr_pct"),
+                res.stats.get("cpu.squashes"));
+    if (res.stats.get("model_is_bulk") > 0) {
+        std::printf("chunks: commits=%.0f emptyW=%.1f%% rset=%.1f "
+                    "wset=%.2f wpriv=%.1f\n",
+                    res.stats.get("bulk.commits"),
+                    res.stats.get("bulk.empty_w_pct"),
+                    res.stats.get("bulk.avg_read_set"),
+                    res.stats.get("bulk.avg_write_set"),
+                    res.stats.get("bulk.avg_priv_write_set"));
+        std::printf("arbiter: requests=%.0f denials=%.0f "
+                    "pendingW=%.2f nonEmpty=%.1f%%\n",
+                    res.stats.get("arb.requests"),
+                    res.stats.get("arb.denials"),
+                    res.stats.get("arb.avg_pending_w"),
+                    res.stats.get("arb.non_empty_pct"));
+    }
+    std::printf("traffic: total=%.0f bits (RdWr=%.0f RdSig=%.0f "
+                "WrSig=%.0f Inv=%.0f Other=%.0f)\n",
+                res.stats.get("net.bits.total"),
+                res.stats.get("net.bits.RdWr"),
+                res.stats.get("net.bits.RdSig"),
+                res.stats.get("net.bits.WrSig"),
+                res.stats.get("net.bits.Inv"),
+                res.stats.get("net.bits.Other"));
+    return res.completed ? 0 : 2;
+}
