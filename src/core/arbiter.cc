@@ -1,5 +1,6 @@
 #include "core/arbiter.hh"
 
+#include "sim/event_trace.hh"
 #include "sim/logging.hh"
 #include "sim/trace_log.hh"
 
@@ -54,6 +55,8 @@ Arbiter::requestCommit(ProcId p, std::shared_ptr<Signature> w,
         // Pre-arbitration: reject everyone but the owner.
         if (preArbOwner != ~ProcId{0} && preArbOwner != p) {
             ++stats_.denials;
+            EVENT_TRACE(TraceEventType::ArbDecision, curTick(),
+                        trackArb(0), 0, wList.size(), 0);
             eventq.scheduleAfter(processing, [this, p, reply] {
                 net.send(node, p, TrafficClass::Other, 8,
                          [reply] { reply(false); });
@@ -84,6 +87,8 @@ Arbiter::decide(ProcId p, const std::shared_ptr<Signature> &w,
             TRACE_LOG(TraceCat::Commit, curTick(), "arbiter: ",
                       ok ? "grant" : "deny", " for proc ", p,
                       " (pending W list: ", wList.size(), ")");
+            EVENT_TRACE(TraceEventType::ArbDecision, curTick(),
+                        trackArb(0), 0, wList.size(), ok ? 1 : 0);
             if (ok) {
                 ++stats_.grants;
                 if (w_->empty()) {
@@ -91,6 +96,7 @@ Arbiter::decide(ProcId p, const std::shared_ptr<Signature> &w,
                 } else {
                     touchStats();
                     wList.push_back(w_);
+                    wInsertTick[w_.get()] = curTick();
                 }
             } else {
                 ++stats_.denials;
@@ -113,6 +119,8 @@ Arbiter::decide(ProcId p, const std::shared_ptr<Signature> &w,
                 if (!fetched) {
                     // Chunk vanished (squashed); deny.
                     ++stats_.denials;
+                    EVENT_TRACE(TraceEventType::ArbDecision, curTick(),
+                                trackArb(0), 0, wList.size(), 0);
                     tryActivatePreArb();
                     net.send(node, p, TrafficClass::Other, 8,
                              [reply] { reply(false); });
@@ -138,6 +146,12 @@ Arbiter::commitDone(const std::shared_ptr<Signature> &w)
     for (auto it = wList.begin(); it != wList.end(); ++it) {
         if (it->get() == w.get()) {
             touchStats();
+            auto in = wInsertTick.find(w.get());
+            if (in != wInsertTick.end()) {
+                stats_.occupancy.sample(
+                    static_cast<double>(curTick() - in->second));
+                wInsertTick.erase(in);
+            }
             wList.erase(it);
             tryActivatePreArb();
             return;

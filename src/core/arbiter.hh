@@ -25,11 +25,13 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "network/network.hh"
 #include "signature/signature.hh"
 #include "sim/event_queue.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace bulksc {
@@ -50,6 +52,9 @@ struct ArbiterStats
 
     /** Ticks during which the W list was non-empty. */
     Tick nonEmptyTicks = 0;
+
+    /** W-list residency of each committed W (grant to commitDone). */
+    Histogram occupancy;
 
     double
     avgPendingW(Tick total) const
@@ -142,6 +147,9 @@ class Arbiter : public SimObject, public ArbiterIface
     unsigned maxCommits;
 
     std::vector<std::shared_ptr<Signature>> wList;
+
+    /** Tick each listed W entered the list (occupancy histogram). */
+    std::unordered_map<const Signature *, Tick> wInsertTick;
 
     /** Active pre-arbitration owner (kNodeNone when inactive). */
     ProcId preArbOwner = ~ProcId{0};

@@ -131,6 +131,10 @@ struct Chunk
     /** A permission-to-commit request is outstanding. */
     bool arbitrating = false;
 
+    /** Tick of the first commit request (arbitration-latency stat;
+     *  kTickNever until the chunk first arbitrates). */
+    Tick firstArbTick = kTickNever;
+
     bool
     readyToArbitrate() const
     {

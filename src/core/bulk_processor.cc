@@ -27,9 +27,16 @@ BulkProcessor::currentChunk()
                                              nextChunkTarget,
                                              bprm.sigCfg));
     chunks.back()->txnDepthAtStart = txnDepth;
+    if (lastSquashTick != kTickNever) {
+        bstats.squashRestart.sample(
+            static_cast<double>(curTick() - lastSquashTick));
+        lastSquashTick = kTickNever;
+    }
     TRACE_LOG(TraceCat::Chunk, curTick(), name(), ": chunk ",
               chunks.back()->seq, " opens at op ", pos, " (target ",
               nextChunkTarget, " instrs)");
+    EVENT_TRACE(TraceEventType::ChunkStart, curTick(), trackProc(pid),
+                chunks.back()->seq, nextChunkTarget);
     return chunks.back().get();
 }
 
@@ -403,12 +410,16 @@ BulkProcessor::maybeArbitrate()
         return;
 
     front.arbitrating = true;
+    if (front.firstArbTick == kTickNever)
+        front.firstArbTick = curTick();
     bstats.rSizeSum += static_cast<double>(front.r.exactSize());
     bstats.wSizeSum += static_cast<double>(front.w.exactSize());
     bstats.wprivSizeSum += static_cast<double>(front.wpriv.exactSize());
 
     auto w = std::make_shared<Signature>(front.w);
     std::uint64_t seq = front.seq;
+    EVENT_TRACE(TraceEventType::ArbRequest, curTick(), trackProc(pid),
+                seq, front.execInstrs);
 
     RProvider r_provider = [this, seq]() -> std::shared_ptr<Signature> {
         Chunk *c = findChunk(seq);
@@ -417,6 +428,9 @@ BulkProcessor::maybeArbitrate()
 
     arb.requestCommit(pid, w, std::move(r_provider),
                       [this, seq, w](bool granted) {
+        EVENT_TRACE(granted ? TraceEventType::ArbGrant
+                            : TraceEventType::ArbDeny,
+                    curTick(), trackProc(pid), seq);
         Chunk *c = findChunk(seq);
         if (!c) {
             // The chunk was squashed while its request was in flight.
@@ -455,9 +469,15 @@ BulkProcessor::onGranted(std::uint64_t seq, std::shared_ptr<Signature> w)
     if (w->empty())
         ++bstats.emptyWCommits;
     nRetired += c->execInstrs;
+    if (c->firstArbTick != kTickNever) {
+        bstats.arbLatency.sample(
+            static_cast<double>(curTick() - c->firstArbTick));
+    }
     TRACE_LOG(TraceCat::Commit, curTick(), name(), ": chunk ", seq,
               " granted (", c->execInstrs, " instrs, |W|=",
               w->exactSize(), ", |R|=", c->r.exactSize(), ")");
+    EVENT_TRACE(TraceEventType::ChunkCommit, curTick(), trackProc(pid),
+                seq, c->execInstrs);
 
     // Private Buffer: entries belonging to this chunk either transfer
     // to a younger chunk still writing the line, or retire (their
@@ -489,8 +509,12 @@ BulkProcessor::onGranted(std::uint64_t seq, std::shared_ptr<Signature> w)
 
     if (!w->empty()) {
         ++committingCount;
+        EVENT_TRACE(TraceEventType::CommitBegin, curTick(),
+                    trackProc(pid), seq, w->exactSize());
         mem.bulkCommit(pid, w,
-                       [this, w] {
+                       [this, w, seq] {
+                           EVENT_TRACE(TraceEventType::CommitEnd,
+                                       curTick(), trackProc(pid), seq);
                            arb.commitDone(w);
                            --committingCount;
                            advance();
@@ -506,32 +530,52 @@ BulkProcessor::onRemoteWSig(const Signature &wc)
     for (std::size_t i = 0; i < chunks.size(); ++i) {
         Chunk &c = *chunks[i];
         if (wc.intersects(c.r) || wc.intersects(c.w)) {
-            squashFrom(i);
+            // Attribute the squash: the Bloom encodings intersected,
+            // but did the exact address sets? The BDM's exact mirrors
+            // make this check free in simulation (Section 7 separates
+            // real conflicts from signature aliasing).
+            bool real = wc.intersectsExact(c.r) ||
+                        wc.intersectsExact(c.w);
+            squashFrom(i, real ? SquashCause::TrueConflict
+                               : SquashCause::FalsePositive);
             return;
         }
     }
 }
 
 void
-BulkProcessor::squashFrom(std::size_t idx)
+BulkProcessor::squashFrom(std::size_t idx, SquashCause cause)
 {
     ++nSquashes;
     ++consecutiveSquashes;
+    if (cause == SquashCause::TrueConflict)
+        ++bstats.trueConflictSquashes;
+    else
+        ++bstats.falsePositiveSquashes;
     TRACE_LOG(TraceCat::Squash, curTick(), name(), ": squashing ",
               chunks.size() - idx, " chunk(s) from seq ",
               chunks[idx]->seq, ", rollback to op ",
               chunks[idx]->startPos, " (", consecutiveSquashes,
-              " consecutive)");
+              " consecutive, ", squashCauseName(cause), ")");
+    EVENT_TRACE(TraceEventType::Squash, curTick(), trackProc(pid),
+                chunks[idx]->seq, chunks.size() - idx,
+                static_cast<std::uint8_t>(cause));
 
     for (std::size_t j = chunks.size(); j-- > idx;) {
         Chunk &c = *chunks[j];
         nWasted += c.execInstrs;
+        bstats.squashChunkSize.sample(
+            static_cast<double>(c.execInstrs));
+        EVENT_TRACE(TraceEventType::ChunkSquash, curTick(),
+                    trackProc(pid), c.seq, c.execInstrs,
+                    static_cast<std::uint8_t>(cause));
         mem.l1DiscardSpeculative(pid, c.w);
         for (LineAddr line : c.privBufLines) {
             privBuf.erase(line);
             mem.restoreLine(pid, line);
         }
     }
+    lastSquashTick = curTick();
 
     pos = chunks[idx]->startPos;
     txnDepth = chunks[idx]->txnDepthAtStart;

@@ -23,6 +23,8 @@
 #include "core/bdm.hh"
 #include "core/sc_verifier.hh"
 #include "cpu/processor_base.hh"
+#include "sim/event_trace.hh"
+#include "sim/stats.hh"
 
 namespace bulksc {
 
@@ -92,6 +94,23 @@ struct BulkStats
                                       //!< by the base protocol
     unsigned invalNodes = 0;          //!< procs sent W, total
     std::uint64_t preArbRequests = 0;
+
+    /** Squash attribution: triggers whose exact address sets really
+     *  intersected the committing W. */
+    std::uint64_t trueConflictSquashes = 0;
+
+    /** Squash attribution: triggers where only the Bloom encodings
+     *  intersected (signature aliasing). */
+    std::uint64_t falsePositiveSquashes = 0;
+
+    /** First commit request to grant, per committed chunk (cycles). */
+    Histogram arbLatency;
+
+    /** Squash to next chunk open, per squash (cycles). */
+    Histogram squashRestart;
+
+    /** Executed instructions of each squashed chunk. */
+    Histogram squashChunkSize;
 };
 
 /**
@@ -180,7 +199,7 @@ class BulkProcessor : public ProcessorBase
 
     void maybeArbitrate();
     void onGranted(std::uint64_t seq, std::shared_ptr<Signature> w);
-    void squashFrom(std::size_t idx);
+    void squashFrom(std::size_t idx, SquashCause cause);
 
     /** Run @p fn with the current chunk, retrying while stalled. */
     void withChunk(std::function<void(Chunk &)> fn);
@@ -204,6 +223,10 @@ class BulkProcessor : public ProcessorBase
 
     bool preArbPending = false;
     bool preArbWaiting = false;
+
+    /** Tick of the last squash with no chunk opened since (feeds the
+     *  squash-to-restart histogram). */
+    Tick lastSquashTick = kTickNever;
 
     /** Transaction nesting depth (Section 8 extension): while > 0
      *  the chunk is pinned open so the whole transaction commits

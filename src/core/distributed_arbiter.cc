@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/event_trace.hh"
 #include "sim/logging.hh"
 
 namespace bulksc {
@@ -83,6 +84,9 @@ DistributedArbiter::finishDecision(ProcId p, bool ok,
         ++stats_.grants;
     else
         ++stats_.denials;
+    EVENT_TRACE(TraceEventType::ArbDecision, curTick(),
+                trackArb(static_cast<unsigned>(from - firstNode)), 0,
+                activeTxns, ok ? 1 : 0);
     net.send(from, p, TrafficClass::Other, 8,
              [reply, ok] { reply(ok); });
 }
@@ -149,6 +153,7 @@ DistributedArbiter::requestCommit(ProcId p, std::shared_ptr<Signature> w,
                         } else if (w_here) {
                             touchStats();
                             modules[m].wList.push_back(w);
+                            wInsertTick[w.get()] = curTick();
                             ++activeTxns;
                         }
                     }
@@ -236,6 +241,7 @@ DistributedArbiter::requestCommit(ProcId p, std::shared_ptr<Signature> w,
                             } else {
                                 touchStats();
                                 gList.push_back(w);
+                                wInsertTick[w.get()] = curTick();
                                 ++activeTxns;
                             }
                         } else {
@@ -269,6 +275,12 @@ DistributedArbiter::commitDone(const std::shared_ptr<Signature> &w)
     if (present && activeTxns) {
         touchStats();
         --activeTxns;
+    }
+    auto in = wInsertTick.find(w.get());
+    if (in != wInsertTick.end()) {
+        stats_.occupancy.sample(
+            static_cast<double>(curTick() - in->second));
+        wInsertTick.erase(in);
     }
     tryActivatePreArb();
 }

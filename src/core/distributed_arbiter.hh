@@ -79,6 +79,13 @@ class DistributedArbiter : public SimObject, public ArbiterIface
     std::vector<Module> modules;
     std::vector<std::shared_ptr<Signature>> gList;
 
+    /** Tick each accepted W entered the arbiter (occupancy). Entries
+     *  are created only at the final accept points — the single-range
+     *  list push and the G-arbiter list push — never for the tentative
+     *  module reservations of a multi-range transaction, which can
+     *  still roll back. */
+    std::unordered_map<const Signature *, Tick> wInsertTick;
+
     unsigned activeTxns = 0;
 
     ProcId preArbOwner = ~ProcId{0};

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "sim/event_trace.hh"
 #include "sim/logging.hh"
 #include "sim/trace_log.hh"
 
@@ -154,6 +155,8 @@ MemorySystem::dirHandleRequest(ProcId p, LineAddr line, MemCmd cmd)
     for (const auto &sig : committingSigs[d]) {
         if (sig->contains(line)) {
             ++nBounced;
+            EVENT_TRACE(TraceEventType::DirBounce, curTick(),
+                        trackDir(d), 0, line);
             eventq.scheduleAfter(prm.bounceRetry, [this, p, line, cmd] {
                 dirHandleRequest(p, line, cmd);
             });
@@ -334,7 +337,11 @@ MemorySystem::handleDirDisplacements(
             ProcId q = static_cast<ProcId>(std::countr_zero(bits));
             bits &= bits - 1;
             net.send(prm.numProcs + dir_idx, q, TrafficClass::WrSig,
-                     sig->compressedBits(), [this, q, sig] {
+                     sig->compressedBits(),
+                     [this, q, sig, line = dd.line] {
+                         EVENT_TRACE(TraceEventType::BulkInval,
+                                     curTick(), trackProc(q), 0, line,
+                                     1);
                          if (l1s[q].listener)
                              l1s[q].listener->onRemoteWSig(*sig);
                          applyBulkInval(q, *sig, false);
@@ -438,8 +445,13 @@ MemorySystem::bulkCommit(ProcId committer, std::shared_ptr<Signature> w,
 
     for (unsigned d : involved) {
         auto txn = std::make_shared<CommitTxn>();
+        // Service-time start, filled in when W reaches the module (the
+        // shared_ptr keeps the txn free of a self-referential capture).
+        auto start = std::make_shared<Tick>(0);
         txn->w = w;
-        txn->onDone = [this, d, remaining, user_done, w] {
+        txn->onDone = [this, d, remaining, user_done, w, start] {
+            dirCommitService.sample(
+                static_cast<double>(curTick() - *start));
             auto &list = committingSigs[d];
             for (auto it = list.begin(); it != list.end(); ++it) {
                 if (it->get() == w.get()) {
@@ -452,7 +464,8 @@ MemorySystem::bulkCommit(ProcId committer, std::shared_ptr<Signature> w,
         };
         txn->invalNodesOut = inval_nodes_out;
         net.send(committer, prm.numProcs + d, TrafficClass::WrSig,
-                 w->compressedBits(), [this, d, committer, txn] {
+                 w->compressedBits(), [this, d, committer, txn, start] {
+                     *start = curTick();
                      committingSigs[d].push_back(txn->w);
                      dirHandleCommit(d, committer, txn);
                  });
@@ -493,6 +506,9 @@ MemorySystem::dirHandleCommit(unsigned dir_idx, ProcId committer,
             bits &= bits - 1;
             net.send(prm.numProcs + dir_idx, q, TrafficClass::WrSig,
                      txn->w->compressedBits(), [this, dir_idx, q, txn] {
+                         EVENT_TRACE(TraceEventType::BulkInval,
+                                     curTick(), trackProc(q), 0,
+                                     dir_idx, 0);
                          if (l1s[q].listener)
                              l1s[q].listener->onRemoteWSig(*txn->w);
                          applyBulkInval(q, *txn->w, false);
@@ -650,6 +666,7 @@ MemorySystem::dumpStats(StatGroup &sg, const std::string &prefix) const
     sg.set(prefix + "dir_displacements",
            static_cast<double>(nDirDisplacements));
     sg.set(prefix + "fill_bypasses", static_cast<double>(nFillBypasses));
+    dirCommitService.dumpInto(sg, prefix + "dir_commit_service.");
 }
 
 } // namespace bulksc

@@ -289,6 +289,10 @@ class MemorySystem : public SimObject
     std::uint64_t nDirAliasUpdates = 0;
     std::uint64_t nDirDisplacements = 0;
     std::uint64_t nFillBypasses = 0;
+
+    /** Per-directory W commit service time: signature arrival at the
+     *  module to the last invalidation acknowledgement (cycles). */
+    Histogram dirCommitService;
 };
 
 } // namespace bulksc

@@ -1,5 +1,6 @@
 #include "sim/trace_log.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
@@ -56,11 +57,23 @@ traceCatName(TraceCat cat)
     }
 }
 
+namespace detail {
+
+namespace {
+bool unknownCatWarned = false;
+} // namespace
+
+void
+resetUnknownTraceCatWarning()
+{
+    unknownCatWarned = false;
+}
+
+} // namespace detail
+
 std::uint32_t
 parseTraceCategories(const std::string &spec)
 {
-    if (spec == "all")
-        return ~std::uint32_t{0};
     std::uint32_t m = 0;
     std::size_t pos = 0;
     while (pos < spec.size()) {
@@ -68,13 +81,33 @@ parseTraceCategories(const std::string &spec)
         if (comma == std::string::npos)
             comma = spec.size();
         std::string name = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        for (char &ch : name)
+            ch = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch)));
+        if (name.empty())
+            continue;
+        if (name == "all") {
+            m = ~std::uint32_t{0};
+            continue;
+        }
+        bool matched = false;
         for (TraceCat c : {TraceCat::Chunk, TraceCat::Commit,
                            TraceCat::Squash, TraceCat::Coherence,
                            TraceCat::Sync, TraceCat::Mem}) {
-            if (name == traceCatName(c))
+            if (name == traceCatName(c)) {
                 m |= static_cast<std::uint32_t>(c);
+                matched = true;
+            }
         }
-        pos = comma + 1;
+        if (!matched && !detail::unknownCatWarned) {
+            detail::unknownCatWarned = true;
+            std::fprintf(stderr,
+                         "warning: unknown trace category '%s' "
+                         "(known: chunk,commit,squash,coherence,sync,"
+                         "mem,all)\n",
+                         name.c_str());
+        }
     }
     return m;
 }

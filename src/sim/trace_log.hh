@@ -38,7 +38,11 @@ std::uint32_t traceCategories();
 /** Enable exactly the given categories (bitmask). */
 void setTraceCategories(std::uint32_t mask);
 
-/** Parse a comma-separated category list ("chunk,squash" or "all"). */
+/**
+ * Parse a comma-separated category list ("chunk,squash" or "all").
+ * Matching is case-insensitive; the first unknown name encountered in
+ * the process triggers a one-time warning on stderr.
+ */
 std::uint32_t parseTraceCategories(const std::string &spec);
 
 /** True iff @p cat is enabled. */
@@ -50,6 +54,9 @@ traceEnabled(TraceCat cat)
 
 namespace detail {
 void traceLine(TraceCat cat, Tick tick, const std::string &msg);
+
+/** Re-arm the unknown-category warning (testing hook). */
+void resetUnknownTraceCatWarning();
 } // namespace detail
 
 /** Short printable name of a category. */

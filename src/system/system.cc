@@ -204,6 +204,11 @@ System::collectStats(Results &res) const
         agg.baseWritebacks += b.baseWritebacks;
         agg.invalNodes += b.invalNodes;
         agg.preArbRequests += b.preArbRequests;
+        agg.trueConflictSquashes += b.trueConflictSquashes;
+        agg.falsePositiveSquashes += b.falsePositiveSquashes;
+        agg.arbLatency.merge(b.arbLatency);
+        agg.squashRestart.merge(b.squashRestart);
+        agg.squashChunkSize.merge(b.squashChunkSize);
     }
     double commits = static_cast<double>(agg.commits);
     sg.set("bulk.commits", commits);
@@ -238,6 +243,15 @@ System::collectStats(Results &res) const
     sg.set("bulk.pre_arbitrations",
            static_cast<double>(agg.preArbRequests));
 
+    // Squash attribution (exact address sets vs Bloom aliasing).
+    sg.set("bulk.squash.true_conflict",
+           static_cast<double>(agg.trueConflictSquashes));
+    sg.set("bulk.squash.false_positive",
+           static_cast<double>(agg.falsePositiveSquashes));
+    agg.arbLatency.dumpInto(sg, "bulk.arb_latency.");
+    agg.squashRestart.dumpInto(sg, "bulk.squash_restart.");
+    agg.squashChunkSize.dumpInto(sg, "bulk.squash_chunk_size.");
+
     if (verifier) {
         sg.set("sc_verifier.verified", verifier->verified() ? 1 : 0);
         sg.set("sc_verifier.chunks",
@@ -268,6 +282,7 @@ System::collectStats(Results &res) const
                100.0 * as.nonEmptyFrac(res.execTime));
         sg.set("arb.pre_arbitrations",
                static_cast<double>(as.preArbitrations));
+        as.occupancy.dumpInto(sg, "arb.commit_occupancy.");
     }
 }
 

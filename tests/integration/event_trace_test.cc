@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Integration tests for chunk-lifecycle event tracing: a full workload
+ * runs with the sink enabled, and the recorded per-type event counts
+ * must agree with the statistics counters collected independently by
+ * the processors and the arbiter. Also checks the squash-attribution
+ * table and the exported Chrome trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/event_trace.hh"
+#include "system/system.hh"
+#include "workload/generator.hh"
+
+namespace bulksc {
+namespace {
+
+class EventTraceIntegration : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        EventTrace::instance().disable();
+        EventTrace::instance().clear();
+    }
+};
+
+TEST_F(EventTraceIntegration, EventCountsMatchStats)
+{
+    EventTrace &et = EventTrace::instance();
+    et.enable(~std::uint32_t{0});
+
+    Results res = runWorkload(Model::BSCdypvt, profileByName("ocean"),
+                              4, 20'000);
+    et.disable();
+    ASSERT_TRUE(res.completed);
+
+    // Chunk lifecycle closes: every started chunk either committed or
+    // was squashed (no chunk is live after a completed run).
+    EXPECT_EQ(et.count(TraceEventType::ChunkStart),
+              et.count(TraceEventType::ChunkCommit) +
+                  et.count(TraceEventType::ChunkSquash));
+
+    // One ChunkCommit per committed chunk.
+    EXPECT_EQ(et.count(TraceEventType::ChunkCommit),
+              static_cast<std::uint64_t>(
+                  res.stats.get("bulk.commits")));
+
+    // Grants/denials observed at the processors match the arbiter's
+    // own counters, and every reply pairs with a request.
+    EXPECT_EQ(et.count(TraceEventType::ArbGrant),
+              static_cast<std::uint64_t>(res.stats.get("arb.grants")));
+    EXPECT_EQ(et.count(TraceEventType::ArbDeny),
+              static_cast<std::uint64_t>(res.stats.get("arb.denials")));
+    EXPECT_EQ(et.count(TraceEventType::ArbRequest),
+              static_cast<std::uint64_t>(
+                  res.stats.get("arb.requests")));
+    EXPECT_EQ(et.count(TraceEventType::ArbDecision),
+              et.count(TraceEventType::ArbGrant) +
+                  et.count(TraceEventType::ArbDeny));
+
+    // One Squash instant per squash; per-chunk squash events cover at
+    // least that many chunks.
+    EXPECT_EQ(et.count(TraceEventType::Squash),
+              static_cast<std::uint64_t>(
+                  res.stats.get("cpu.squashes")));
+    EXPECT_GE(et.count(TraceEventType::ChunkSquash),
+              et.count(TraceEventType::Squash));
+
+    // Directory bounces mirror the memory-system counter.
+    EXPECT_EQ(et.count(TraceEventType::DirBounce),
+              static_cast<std::uint64_t>(
+                  res.stats.get("mem.bounced_reads")));
+
+    // Commit begin/end pair up (non-empty W commits only).
+    EXPECT_EQ(et.count(TraceEventType::CommitBegin),
+              et.count(TraceEventType::CommitEnd));
+    EXPECT_LE(et.count(TraceEventType::CommitBegin),
+              et.count(TraceEventType::ChunkCommit));
+
+    // Bulk invalidations: one per processor that was sent W. The
+    // default full-mapped directory never displaces entries, so no
+    // displacement-driven signatures muddy the count.
+    EXPECT_DOUBLE_EQ(res.stats.get("mem.dir_displacements"), 0.0);
+    EXPECT_EQ(et.count(TraceEventType::BulkInval),
+              static_cast<std::uint64_t>(
+                  res.stats.get("bulk.inval_nodes_total")));
+}
+
+TEST_F(EventTraceIntegration, SquashAttributionSumsToTotal)
+{
+    EventTrace &et = EventTrace::instance();
+    et.enable(~std::uint32_t{0});
+    // High-contention app to actually provoke squashes.
+    Results res = runWorkload(Model::BSCdypvt, profileByName("ocean"),
+                              4, 20'000);
+    et.disable();
+    ASSERT_TRUE(res.completed);
+
+    double squashes = res.stats.get("cpu.squashes");
+    EXPECT_DOUBLE_EQ(res.stats.get("bulk.squash.true_conflict") +
+                         res.stats.get("bulk.squash.false_positive"),
+                     squashes);
+
+    // The latency histograms got their samples.
+    EXPECT_DOUBLE_EQ(res.stats.get("bulk.arb_latency.samples"),
+                     res.stats.get("bulk.commits"));
+    if (squashes > 0) {
+        EXPECT_GT(res.stats.get("bulk.squash_chunk_size.samples"),
+                  0.0);
+        EXPECT_GT(res.stats.get("bulk.squash_restart.samples"), 0.0);
+    }
+    EXPECT_LE(res.stats.get("bulk.arb_latency.p50"),
+              res.stats.get("bulk.arb_latency.p99"));
+    EXPECT_GT(res.stats.get("arb.commit_occupancy.samples"), 0.0);
+    EXPECT_GT(res.stats.get("mem.dir_commit_service.samples"), 0.0);
+}
+
+TEST_F(EventTraceIntegration, ExactSignaturesNeverFalsePositive)
+{
+    // BSCexact uses alias-free signatures: every squash must be
+    // attributed to a true conflict.
+    Results res = runWorkload(Model::BSCexact, profileByName("ocean"),
+                              4, 20'000);
+    ASSERT_TRUE(res.completed);
+    EXPECT_DOUBLE_EQ(res.stats.get("bulk.squash.false_positive"), 0.0);
+    EXPECT_DOUBLE_EQ(res.stats.get("bulk.squash.true_conflict"),
+                     res.stats.get("cpu.squashes"));
+}
+
+TEST_F(EventTraceIntegration, ChromeExportFromWorkloadIsWellFormed)
+{
+    EventTrace &et = EventTrace::instance();
+    et.enable(~std::uint32_t{0});
+    Results res = runWorkload(Model::BSCdypvt, profileByName("ocean"),
+                              4, 20'000);
+    et.disable();
+    ASSERT_TRUE(res.completed);
+
+    std::ostringstream os;
+    et.writeChromeTrace(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"cpu0\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"cpu3\""), std::string::npos);
+    EXPECT_NE(out.find("\"outcome\":\"commit\""), std::string::npos);
+    EXPECT_NE(out.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+    // Balanced braces/brackets as a cheap well-formedness check.
+    long brace = 0, bracket = 0;
+    bool in_str = false, esc = false;
+    for (char c : out) {
+        if (esc) {
+            esc = false;
+            continue;
+        }
+        if (in_str) {
+            if (c == '\\')
+                esc = true;
+            else if (c == '"')
+                in_str = false;
+            continue;
+        }
+        if (c == '"')
+            in_str = true;
+        else if (c == '{')
+            ++brace;
+        else if (c == '}')
+            --brace;
+        else if (c == '[')
+            ++bracket;
+        else if (c == ']')
+            --bracket;
+    }
+    EXPECT_EQ(brace, 0);
+    EXPECT_EQ(bracket, 0);
+    EXPECT_FALSE(in_str);
+}
+
+TEST_F(EventTraceIntegration, DistributedArbiterDecisionsCounted)
+{
+    EventTrace &et = EventTrace::instance();
+    et.enable(~std::uint32_t{0});
+    MachineConfig cfg;
+    cfg.numArbiters = 4;
+    cfg.mem.numDirectories = 4;
+    Results res = runWorkload(Model::BSCdypvt, profileByName("ocean"),
+                              4, 20'000, &cfg);
+    et.disable();
+    ASSERT_TRUE(res.completed);
+
+    EXPECT_EQ(et.count(TraceEventType::ArbGrant),
+              static_cast<std::uint64_t>(res.stats.get("arb.grants")));
+    EXPECT_EQ(et.count(TraceEventType::ArbDeny),
+              static_cast<std::uint64_t>(res.stats.get("arb.denials")));
+    EXPECT_EQ(et.count(TraceEventType::ArbDecision),
+              et.count(TraceEventType::ArbGrant) +
+                  et.count(TraceEventType::ArbDeny));
+}
+
+} // namespace
+} // namespace bulksc

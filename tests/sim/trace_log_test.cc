@@ -56,8 +56,56 @@ TEST_F(TraceLogTest, ParseAll)
 
 TEST_F(TraceLogTest, ParseIgnoresUnknownNames)
 {
+    detail::resetUnknownTraceCatWarning();
+    testing::internal::CaptureStderr();
     EXPECT_EQ(parseTraceCategories("bogus,nothing"), 0u);
     EXPECT_EQ(parseTraceCategories(""), 0u);
+    testing::internal::GetCapturedStderr();
+}
+
+TEST_F(TraceLogTest, ParseIsCaseInsensitive)
+{
+    std::uint32_t m = parseTraceCategories("Chunk,SQUASH");
+    EXPECT_TRUE(m & static_cast<std::uint32_t>(TraceCat::Chunk));
+    EXPECT_TRUE(m & static_cast<std::uint32_t>(TraceCat::Squash));
+    EXPECT_EQ(parseTraceCategories("ALL"), parseTraceCategories("all"));
+}
+
+TEST_F(TraceLogTest, ParseSkipsEmptyTokens)
+{
+    std::uint32_t m = parseTraceCategories(",chunk,,squash,");
+    EXPECT_TRUE(m & static_cast<std::uint32_t>(TraceCat::Chunk));
+    EXPECT_TRUE(m & static_cast<std::uint32_t>(TraceCat::Squash));
+}
+
+TEST_F(TraceLogTest, UnknownNameWarnsExactlyOnce)
+{
+    detail::resetUnknownTraceCatWarning();
+    testing::internal::CaptureStderr();
+    parseTraceCategories("chunk,frobnicate");
+    std::string first = testing::internal::GetCapturedStderr();
+    EXPECT_NE(first.find("unknown trace category 'frobnicate'"),
+              std::string::npos);
+    EXPECT_NE(first.find("chunk,commit,squash"), std::string::npos);
+
+    // Subsequent unknown names stay silent until re-armed.
+    testing::internal::CaptureStderr();
+    parseTraceCategories("alsobad");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+    detail::resetUnknownTraceCatWarning();
+    testing::internal::CaptureStderr();
+    parseTraceCategories("alsobad");
+    EXPECT_NE(testing::internal::GetCapturedStderr().find("alsobad"),
+              std::string::npos);
+}
+
+TEST_F(TraceLogTest, KnownNamesNeverWarn)
+{
+    detail::resetUnknownTraceCatWarning();
+    testing::internal::CaptureStderr();
+    parseTraceCategories("chunk,commit,squash,coherence,sync,mem,all");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
 }
 
 TEST_F(TraceLogTest, NamesRoundTrip)

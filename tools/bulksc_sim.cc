@@ -26,6 +26,15 @@
  *     --load-traces F   replay a saved trace bundle instead
  *     --stats           dump every statistic (default: summary)
  *     --json            dump every statistic as a JSON object
+ *     --trace-out F     record chunk-lifecycle events and export them
+ *                       as Chrome trace_event JSON to F (open in
+ *                       chrome://tracing or ui.perfetto.dev)
+ *     --trace-cats L    event categories to record (comma-separated:
+ *                       chunk,commit,squash,coherence,all; default all)
+ *
+ * The BULKSC_TRACE environment variable independently enables the
+ * textual debug log on stderr (same category names, e.g.
+ * BULKSC_TRACE=chunk,squash).
  */
 
 #include <cstdio>
@@ -33,6 +42,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "sim/event_trace.hh"
+#include "sim/trace_log.hh"
 #include "system/system.hh"
 #include "workload/app_profiles.hh"
 #include "workload/generator.hh"
@@ -53,7 +64,13 @@ usage(const char *argv0)
                  "          [--arbiters N] [--dirs N] [--dir-cache N]"
                  "\n"
                  "          [--no-rsig] [--no-warm] [--contention] "
-                 "[--seed-salt N] [--stats]\n",
+                 "[--seed-salt N]\n"
+                 "          [--verify] [--save-traces F] "
+                 "[--load-traces F]\n"
+                 "          [--stats] [--json] [--trace-out F] "
+                 "[--trace-cats L]\n"
+                 "(BULKSC_TRACE=cat,... additionally enables the "
+                 "textual debug log)\n",
                  argv0);
     std::exit(1);
 }
@@ -82,6 +99,8 @@ main(int argc, char **argv)
     bool json_out = false;
     bool verify = false;
     std::string save_path, load_path;
+    std::string trace_out;
+    std::string trace_cats = "all";
     MachineConfig cfg;
 
     for (int i = 1; i < argc; ++i) {
@@ -137,6 +156,14 @@ main(int argc, char **argv)
             if (i + 1 >= argc)
                 usage(argv[0]);
             load_path = argv[++i];
+        } else if (!std::strcmp(a, "--trace-out")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            trace_out = argv[++i];
+        } else if (!std::strcmp(a, "--trace-cats")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            trace_cats = argv[++i];
         } else {
             usage(argv[0]);
         }
@@ -165,18 +192,40 @@ main(int argc, char **argv)
     if (!save_path.empty() && !saveTraces(save_path, traces))
         return 1;
 
+    if (!trace_out.empty()) {
+        EventTrace::instance().enable(
+            parseTraceCategories(trace_cats));
+    }
+
     System sys(cfg, std::move(traces));
     if (verify)
         sys.enableScVerification();
     Results res = sys.run();
 
+    if (!trace_out.empty()) {
+        const EventTrace &et = EventTrace::instance();
+        if (!et.exportChromeTrace(trace_out)) {
+            std::fprintf(stderr, "error: cannot write trace to %s\n",
+                         trace_out.c_str());
+            return 1;
+        }
+        if (!json_out) {
+            std::printf("trace: %llu events (%llu dropped) -> %s\n",
+                        static_cast<unsigned long long>(et.recorded()),
+                        static_cast<unsigned long long>(et.dropped()),
+                        trace_out.c_str());
+        }
+    }
+
     if (json_out) {
         std::printf("{\n  \"model\": \"%s\",\n  \"app\": \"%s\","
                     "\n  \"procs\": %u,\n  \"completed\": %s",
-                    modelName(cfg.model), app.name.c_str(), procs,
+                    modelName(cfg.model),
+                    jsonEscape(app.name).c_str(), procs,
                     res.completed ? "true" : "false");
         for (const auto &[k, v] : res.stats.entries())
-            std::printf(",\n  \"%s\": %.17g", k.c_str(), v);
+            std::printf(",\n  \"%s\": %s", jsonEscape(k).c_str(),
+                        jsonNumber(v).c_str());
         std::printf("\n}\n");
         return res.completed ? 0 : 2;
     }
