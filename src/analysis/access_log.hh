@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The committed-chunk access log: the observation stream every
+ * correctness checker consumes.
+ *
+ * A BulkSC processor with a checker attached records each memory
+ * access of a chunk in program order. At commit grant — the moment the
+ * chunk's speculative values become the committed state — the whole
+ * log is reported, so checkers observe exactly the serialization the
+ * machine claims (the commit order) together with what each access
+ * really saw during the speculative, overlapped execution.
+ *
+ * Two independent kinds of evidence are carried per access:
+ *
+ *  - the observed/written *value* (when the workload tracks values),
+ *    consumed by the serial-replay checker (ScVerifier);
+ *  - the *writer reference* of a load — which store the simulator
+ *    actually supplied the data from — recorded structurally at value
+ *    bind time, consumed by the axiomatic checker's reads-from edges.
+ *
+ * Writer references do not depend on value tracking (or on values
+ * being distinguishable), which is what lets the axiomatic checker
+ * run on any workload.
+ */
+
+#ifndef BULKSC_ANALYSIS_ACCESS_LOG_HH
+#define BULKSC_ANALYSIS_ACCESS_LOG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace bulksc {
+
+/** Sentinel processor id: "initial memory contents" (no writer). */
+constexpr ProcId kNoWriter = ~ProcId{0};
+
+/**
+ * Identifies one committed (or in-flight) store: the access at
+ * position @ref idx of chunk @ref seq of processor @ref proc.
+ */
+struct WriterRef
+{
+    ProcId proc = kNoWriter;
+    std::uint64_t seq = 0; //!< chunk sequence number of the writer
+    std::uint32_t idx = 0; //!< index in the writer chunk's access log
+
+    /** False for the initial-memory pseudo-writer. */
+    bool fromStore() const { return proc != kNoWriter; }
+
+    bool
+    operator==(const WriterRef &o) const
+    {
+        return proc == o.proc && seq == o.seq && idx == o.idx;
+    }
+};
+
+/** One logged access of a chunk, in program order. */
+struct LoggedAccess
+{
+    Addr addr;
+    std::uint64_t value; //!< value observed (load) or written (store)
+    bool isWrite;
+
+    /** True iff @ref value is meaningful (the op tracked values).
+     *  Untracked accesses still carry addresses and writer refs. */
+    bool hasValue = true;
+
+    /** For loads: the store the observed data came from (bound when
+     *  the load's value bound). Only filled in analysis mode. */
+    WriterRef writer{};
+};
+
+} // namespace bulksc
+
+#endif // BULKSC_ANALYSIS_ACCESS_LOG_HH

@@ -1,0 +1,153 @@
+#include "analysis/mem_order_graph.hh"
+
+#include <sstream>
+
+#include "sim/event_trace.hh"
+
+namespace bulksc {
+
+const char *
+MemOrderGraph::edgeKindName(EdgeKind k)
+{
+    switch (k) {
+      case EdgeKind::Po:
+        return "po";
+      case EdgeKind::Rf:
+        return "rf";
+      case EdgeKind::Co:
+        return "co";
+      case EdgeKind::Fr:
+        return "fr";
+    }
+    return "?";
+}
+
+void
+MemOrderGraph::addEdge(Tick now, NodeId u, NodeId v, EdgeKind kind,
+                       Addr addr)
+{
+    auto [it, fresh] = edgeInfo.try_emplace(key(u, v),
+                                            EdgeInfo{kind, addr});
+    if (!fresh)
+        return; // edge already present; first witness wins
+
+    std::vector<NodeId> path;
+    auto outcome = det.addEdge(u, v, &path);
+    if (outcome == CycleDetector::EdgeOutcome::Cycle) {
+        // The offending edge is rejected (the graph stays acyclic and
+        // later commits keep being checked), but the cycle it would
+        // have closed is the SC-violation witness.
+        edgeInfo.erase(it);
+        ++nCycles;
+        EVENT_TRACE(TraceEventType::ScViolation, now,
+                    trackProc(nodes[v].proc), nodes[v].seq, addr,
+                    static_cast<std::uint8_t>(kind));
+        if (viols.size() < violationCap) {
+            Violation viol;
+            viol.tick = now;
+            for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+                const EdgeInfo &ei =
+                    edgeInfo.at(key(path[i], path[i + 1]));
+                viol.edges.push_back(
+                    {path[i], path[i + 1], ei.kind, ei.addr});
+            }
+            viol.edges.push_back({u, v, kind, addr}); // closing edge
+            viols.push_back(std::move(viol));
+        }
+        return;
+    }
+    ++kindCounts[static_cast<unsigned>(kind)];
+}
+
+void
+MemOrderGraph::chunkCommitted(Tick now, ProcId p, std::uint64_t seq,
+                              const std::vector<LoggedAccess> &log)
+{
+    NodeId n = det.addNode();
+    nodes.push_back({p, seq, now});
+
+    auto po = lastNode.find(p);
+    if (po != lastNode.end())
+        addEdge(now, po->second, n, EdgeKind::Po, 0);
+    lastNode[p] = n;
+
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        const LoggedAccess &a = log[i];
+        auto &h = hist[a.addr];
+        if (a.isWrite) {
+            if (!h.empty() && h.back().node != n)
+                addEdge(now, h.back().node, n, EdgeKind::Co, a.addr);
+            auto rs = readers.find(a.addr);
+            if (rs != readers.end()) {
+                for (NodeId r : rs->second) {
+                    if (r != n)
+                        addEdge(now, r, n, EdgeKind::Fr, a.addr);
+                }
+                rs->second.clear();
+            }
+            h.push_back({WriterRef{p, seq,
+                                   static_cast<std::uint32_t>(i)},
+                         n});
+            continue;
+        }
+
+        if (!a.writer.fromStore()) {
+            // The load observed initial memory. If writes to the
+            // address have already committed, that observation is
+            // stale: the reader serializes before the first write.
+            if (h.empty())
+                readers[a.addr].push_back(n);
+            else
+                addEdge(now, n, h.front().node, EdgeKind::Fr, a.addr);
+            continue;
+        }
+
+        // Resolve the writer tag in the address's write history.
+        // Searching from the back finds it immediately in the common
+        // (read-the-latest) case.
+        std::size_t j = h.size();
+        while (j-- > 0) {
+            if (h[j].writer == a.writer)
+                break;
+        }
+        if (j >= h.size()) {
+            ++nUnmatched; // writer never committed: instrumentation bug
+            continue;
+        }
+        if (h[j].node != n)
+            addEdge(now, h[j].node, n, EdgeKind::Rf, a.addr);
+        if (j + 1 == h.size()) {
+            // Fresh read: fr materializes when the next write commits.
+            readers[a.addr].push_back(n);
+        } else if (h[j + 1].node != n) {
+            // Stale read: a later write already committed, so the
+            // reader must serialize before it. This is the edge that
+            // points *backward* in commit order and closes the cycle
+            // when disambiguation was (deliberately or otherwise)
+            // skipped.
+            addEdge(now, n, h[j + 1].node, EdgeKind::Fr, a.addr);
+        }
+    }
+}
+
+std::string
+MemOrderGraph::describe(const Violation &v) const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < v.edges.size(); ++i) {
+        const CycleEdge &e = v.edges[i];
+        const NodeInfo &f = nodes[e.from];
+        os << "cpu" << f.proc << "#" << f.seq << " -"
+           << edgeKindName(e.kind);
+        if (e.kind != EdgeKind::Po)
+            os << "(0x" << std::hex << e.addr << std::dec << ")";
+        os << "-> ";
+    }
+    if (!v.edges.empty()) {
+        const NodeInfo &t = nodes[v.edges.back().to];
+        os << "cpu" << t.proc << "#" << t.seq;
+    }
+    return os.str();
+}
+
+} // namespace bulksc

@@ -1,0 +1,108 @@
+#include "analysis/race_detector.hh"
+
+#include <sstream>
+
+#include "sim/event_trace.hh"
+
+namespace bulksc {
+
+RaceDetector::RaceDetector(const Config &cfg)
+    : np(cfg.numProcs), syncLo(cfg.syncLo), syncHi(cfg.syncHi),
+      reportCap(cfg.reportCap)
+{
+    clocks.reserve(np);
+    for (unsigned p = 0; p < np; ++p) {
+        clocks.emplace_back(np);
+        clocks.back()[p] = 1;
+    }
+}
+
+void
+RaceDetector::check(Tick now, ProcId p, std::uint64_t seq,
+                    const LoggedAccess &a)
+{
+    ++nChecked;
+    auto [it, fresh] = vars.try_emplace(a.addr);
+    VarState &v = it->second;
+    if (fresh) {
+        v.w.resize(np);
+        v.r.resize(np);
+    }
+
+    const VectorClock &cp = clocks[p];
+    ProcId conflict = kNoWriter;
+    bool conflictWrite = false;
+    for (unsigned q = 0; q < np; ++q) {
+        if (q == p)
+            continue;
+        if (v.w[q].clk > cp[q]) {
+            conflict = q;
+            conflictWrite = true;
+            break;
+        }
+        if (a.isWrite && v.r[q].clk > cp[q]) {
+            conflict = q;
+            conflictWrite = false;
+            break;
+        }
+    }
+    if (conflict != kNoWriter) {
+        ++nRaces;
+        racyAddrSet.insert(a.addr);
+        EVENT_TRACE(TraceEventType::RaceDetected, now, trackProc(p),
+                    seq, a.addr, a.isWrite ? 1 : 0);
+        if (reps.size() < reportCap) {
+            const Epoch &prior =
+                conflictWrite ? v.w[conflict] : v.r[conflict];
+            reps.push_back({a.addr, now, conflict, prior.seq,
+                            conflictWrite, p, seq, a.isWrite});
+        }
+    }
+
+    Epoch &e = a.isWrite ? v.w[p] : v.r[p];
+    e.clk = cp[p];
+    e.seq = seq;
+}
+
+void
+RaceDetector::chunkCommitted(Tick now, ProcId p, std::uint64_t seq,
+                             const std::vector<LoggedAccess> &log)
+{
+    if (p >= np)
+        return;
+    for (const LoggedAccess &a : log) {
+        if (isSync(a.addr)) {
+            ++nSyncOps;
+            auto [it, fresh] = syncVc.try_emplace(a.addr, np);
+            (void)fresh;
+            VectorClock &L = it->second;
+            if (a.isWrite) {
+                // Release: publish the writer's history, then tick so
+                // later readers that only *observed* this processor's
+                // store (e.g. a failed test-and-set) do not inherit
+                // its subsequent accesses.
+                L.join(clocks[p]);
+                ++clocks[p][p];
+            } else {
+                // Acquire: inherit everything the variable has seen.
+                clocks[p].join(L);
+            }
+            continue;
+        }
+        check(now, p, seq, a);
+    }
+}
+
+std::string
+RaceDetector::describe(const Report &r) const
+{
+    std::ostringstream os;
+    os << "data race on 0x" << std::hex << r.addr << std::dec
+       << ": cpu" << r.proc << "#" << r.seq << " "
+       << (r.isWrite ? "write" : "read") << " vs cpu" << r.priorProc
+       << "#" << r.priorSeq << " "
+       << (r.priorIsWrite ? "write" : "read");
+    return os.str();
+}
+
+} // namespace bulksc

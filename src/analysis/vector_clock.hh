@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A fixed-width vector clock for happens-before tracking.
+ *
+ * One component per processor; the standard pointwise join and
+ * partial-order comparison. Widths are the (small) processor count,
+ * so clocks are dense vectors, not maps.
+ */
+
+#ifndef BULKSC_ANALYSIS_VECTOR_CLOCK_HH
+#define BULKSC_ANALYSIS_VECTOR_CLOCK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bulksc {
+
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+
+    explicit VectorClock(std::size_t n) : c(n, 0) {}
+
+    std::size_t size() const { return c.size(); }
+
+    std::uint64_t operator[](std::size_t i) const { return c[i]; }
+    std::uint64_t &operator[](std::size_t i) { return c[i]; }
+
+    /** Pointwise maximum: this := this ⊔ other. */
+    void
+    join(const VectorClock &o)
+    {
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            if (o.c[i] > c[i])
+                c[i] = o.c[i];
+        }
+    }
+
+    /** this ⊑ other (every component ≤). */
+    bool
+    leq(const VectorClock &o) const
+    {
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            if (c[i] > o.c[i])
+                return false;
+        }
+        return true;
+    }
+
+    bool operator==(const VectorClock &o) const { return c == o.c; }
+
+  private:
+    std::vector<std::uint64_t> c;
+};
+
+} // namespace bulksc
+
+#endif // BULKSC_ANALYSIS_VECTOR_CLOCK_HH

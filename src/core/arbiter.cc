@@ -7,10 +7,11 @@
 namespace bulksc {
 
 Arbiter::Arbiter(EventQueue &eq, Network &n, NodeId node_,
-                 Tick processing_, bool rsig_opt, unsigned max_commits)
+                 Tick processing_, bool rsig_opt, unsigned max_commits,
+                 unsigned fault_skip_every)
     : SimObject(eq, "arbiter"), net(n), node(node_),
       processing(processing_), rsigOpt(rsig_opt),
-      maxCommits(max_commits)
+      maxCommits(max_commits), faultSkipEvery(fault_skip_every)
 {}
 
 void
@@ -136,6 +137,17 @@ Arbiter::decide(ProcId p, const std::shared_ptr<Signature> &w,
         }
         bool ok = !collides(*r) && !collides(*w) &&
                   wList.size() < maxCommits;
+        // Fault injection (negative testing): let every Nth colliding
+        // request through, breaking the disambiguation the checkers
+        // are supposed to catch. The capacity limit still applies.
+        if (!ok && faultSkipEvery && wList.size() < maxCommits &&
+            ++faultCounter >= faultSkipEvery) {
+            faultCounter = 0;
+            ++stats_.faultInjectedGrants;
+            TRACE_LOG(TraceCat::Commit, curTick(),
+                      "arbiter: FAULT-INJECTED grant for proc ", p);
+            ok = true;
+        }
         finalize(ok, w);
     });
 }

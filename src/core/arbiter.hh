@@ -47,6 +47,10 @@ struct ArbiterStats
     std::uint64_t preArbitrations = 0;
     std::uint64_t abortedGrants = 0; //!< grants to already-squashed chunks
 
+    /** Colliding requests granted anyway by the fault-injection knob
+     *  (negative testing of the SC checkers; 0 in normal operation). */
+    std::uint64_t faultInjectedGrants = 0;
+
     /** Time integral of the W-list size (for avg pending W sigs). */
     double pendingIntegral = 0.0;
 
@@ -112,9 +116,15 @@ class Arbiter : public SimObject, public ArbiterIface
      *        commit arbitration latency minus the network hops).
      * @param rsig_opt Enable the RSig bandwidth optimization.
      * @param max_commits Maximum simultaneously-committing chunks.
+     * @param fault_skip_every Fault injection for negative testing:
+     *        grant every Nth request that *should* be denied for a
+     *        signature collision, deliberately breaking chunk
+     *        disambiguation (0 = off). The analysis subsystem must
+     *        catch the resulting SC violations.
      */
     Arbiter(EventQueue &eq, Network &net, NodeId node, Tick processing,
-            bool rsig_opt, unsigned max_commits = 8);
+            bool rsig_opt, unsigned max_commits = 8,
+            unsigned fault_skip_every = 0);
 
     void requestCommit(ProcId p, std::shared_ptr<Signature> w,
                        RProvider r_provider,
@@ -145,6 +155,8 @@ class Arbiter : public SimObject, public ArbiterIface
     Tick processing;
     bool rsigOpt;
     unsigned maxCommits;
+    unsigned faultSkipEvery;
+    unsigned faultCounter = 0;
 
     std::vector<std::shared_ptr<Signature>> wList;
 

@@ -103,9 +103,15 @@ struct Chunk
     /** Speculative values written by this chunk (tracked addrs). */
     std::unordered_map<Addr, std::uint64_t> specValues;
 
-    /** Program-ordered access log for the SC verifier (only filled
-     *  when a verifier is attached). */
+    /** Program-ordered access log for the SC verifier and the
+     *  analysis engine (only filled when one is attached). */
     std::vector<LoggedAccess> accessLog;
+
+    /** This chunk's latest store to each address, as an index into
+     *  accessLog — the per-chunk half of the load instrumentation's
+     *  writer-tag lookup (analysis mode only). Dies with the chunk on
+     *  squash, so tags never reference discarded work. */
+    std::unordered_map<Addr, std::uint32_t> specWriters;
 
     /** Lines whose old version this chunk parked in the Private
      *  Buffer. */

@@ -80,6 +80,29 @@ BulkProcessor::specRead(Addr addr) const
     return mem.readValue(addr);
 }
 
+WriterRef
+BulkProcessor::findWriterTag(Addr addr) const
+{
+    for (auto it = chunks.rbegin(); it != chunks.rend(); ++it) {
+        auto wit = (*it)->specWriters.find(addr);
+        if (wit != (*it)->specWriters.end())
+            return {pid, (*it)->seq, wit->second};
+    }
+    return analysis->committedWriter(addr);
+}
+
+void
+BulkProcessor::logLoad(Chunk &c, Addr addr, std::uint64_t value,
+                       bool tracked)
+{
+    if (!((verifier && tracked) || analysis))
+        return;
+    LoggedAccess a{addr, value, false, tracked, {}};
+    if (analysis)
+        a.writer = findWriterTag(addr);
+    c.accessLog.push_back(a);
+}
+
 bool
 BulkProcessor::anyLiveW(LineAddr line) const
 {
@@ -172,10 +195,14 @@ BulkProcessor::storeToChunk(Chunk &c, Addr addr, bool stack_ref,
         c.w.insert(line);
     }
 
-    if (tracked) {
+    if (tracked)
         c.specValues[addr] = value;
-        if (verifier)
-            c.accessLog.push_back({addr, value, true});
+    if ((verifier && tracked) || analysis) {
+        if (analysis) {
+            c.specWriters[addr] =
+                static_cast<std::uint32_t>(c.accessLog.size());
+        }
+        c.accessLog.push_back({addr, value, true, tracked, {}});
     }
 
     // Fetch the line if absent (as a Read: BulkSC write misses are
@@ -234,8 +261,7 @@ BulkProcessor::issueLoad(Chunk &c, const Op &op)
     loadToChunk(c, line, op.stackRef);
     if (op.aux != kNoSlot)
         recordLoad(op, specRead(op.addr));
-    if (verifier && op.tracked)
-        c.accessLog.push_back({op.addr, specRead(op.addr), false});
+    logLoad(c, op.addr, specRead(op.addr), op.tracked);
 
     window.push_back({pos, c.seq, false});
     // No epoch guard: after a squash the window scan and chunk lookup
@@ -271,10 +297,14 @@ void
 BulkProcessor::finishOp()
 {
     const Op &op = trace.ops[pos];
-    Chunk &cur = *chunks.back();
-    cur.execInstrs += op.gap + 1;
     ++pos;
     gapCharged = false;
+    // An io op completes only after every chunk drained (execIo), so
+    // there may be no live chunk to charge; the next one starts fresh.
+    if (chunks.empty())
+        return;
+    Chunk &cur = *chunks.back();
+    cur.execInstrs += op.gap + 1;
     if (cur.execInstrs >= cur.targetSize && !cur.endReached &&
         txnDepth == 0) {
         cur.endReached = true;
@@ -460,10 +490,15 @@ BulkProcessor::onGranted(std::uint64_t seq, std::shared_ptr<Signature> w)
              "granted chunk is not the oldest");
 
     // The commit point: speculative values become the committed state.
+    // The analysis engine's committed-writer directory advances in the
+    // same atomic step (inside its chunkCommitted), keeping value state
+    // and writer tags in lockstep.
     for (const auto &[a, v] : c->specValues)
         mem.writeValue(a, v);
     if (verifier)
-        verifier->chunkCommitted(pid, std::move(c->accessLog));
+        verifier->chunkCommitted(pid, c->accessLog);
+    if (analysis)
+        analysis->chunkCommitted(curTick(), pid, seq, c->accessLog);
 
     ++bstats.commits;
     if (w->empty())
@@ -703,8 +738,7 @@ BulkProcessor::syncLoad(Addr addr,
             withChunk([this, addr, done](Chunk &now) {
                 loadToChunk(now, lineOf(addr, prm.lineBytes), false);
                 std::uint64_t v = specRead(addr);
-                if (verifier)
-                    now.accessLog.push_back({addr, v, false});
+                logLoad(now, addr, v, true);
                 done(v);
             });
         };
@@ -760,8 +794,11 @@ BulkProcessor::execIo(std::function<void()> done)
         chunks.back()->endReached = true;
         maybeArbitrate();
     }
+    // The stored function captures itself weakly (a shared_ptr cycle
+    // never frees); the scheduled retry carries the strong reference.
     auto waiter = std::make_shared<std::function<void()>>();
-    *waiter = [this, done, waiter, e = epoch] {
+    std::weak_ptr<std::function<void()>> wwaiter = waiter;
+    *waiter = [this, done, wwaiter, e = epoch] {
         if (epoch != e)
             return;
         if (chunks.empty() && committingCount == 0) {
@@ -769,7 +806,8 @@ BulkProcessor::execIo(std::function<void()> done)
             return;
         }
         maybeArbitrate();
-        eventq.scheduleAfter(10, [waiter] { (*waiter)(); });
+        auto self = wwaiter.lock();
+        eventq.scheduleAfter(10, [self] { (*self)(); });
     };
     (*waiter)();
 }

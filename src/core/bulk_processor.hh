@@ -19,6 +19,7 @@
 #include <deque>
 #include <memory>
 
+#include "analysis/analysis_engine.hh"
 #include "core/arbiter.hh"
 #include "core/bdm.hh"
 #include "core/sc_verifier.hh"
@@ -136,6 +137,11 @@ class BulkProcessor : public ProcessorBase
      *  their access logs to it in commit order. */
     void setVerifier(ScVerifier *v) { verifier = v; }
 
+    /** Attach an analysis engine: every access (tracked or not) is
+     *  logged, loads bind writer tags, and committed chunks report
+     *  in commit order. */
+    void setAnalysis(AnalysisEngine *a) { analysis = a; }
+
     /** Live chunks right now (testing hook). */
     std::size_t liveChunks() const { return chunks.size(); }
 
@@ -193,6 +199,17 @@ class BulkProcessor : public ProcessorBase
     /** Speculative read: youngest chunk value, else committed. */
     std::uint64_t specRead(Addr addr) const;
 
+    /** Where a load of @p addr gets its data right now: the youngest
+     *  live chunk's store to it, else the committed writer. Mirrors
+     *  the machine's forwarding structure, so it is meaningful even
+     *  for value-untracked addresses. */
+    WriterRef findWriterTag(Addr addr) const;
+
+    /** Append a load of @p addr to @p c's access log (analysis /
+     *  verifier instrumentation; call at value-bind time). */
+    void logLoad(Chunk &c, Addr addr, std::uint64_t value,
+                 bool tracked);
+
     bool anyLiveW(LineAddr line) const;
     bool anyLiveWExact(LineAddr line) const;
     bool anyLiveWpriv(LineAddr line) const;
@@ -234,6 +251,7 @@ class BulkProcessor : public ProcessorBase
     unsigned txnDepth = 0;
 
     ScVerifier *verifier = nullptr;
+    AnalysisEngine *analysis = nullptr;
 
     BulkStats bstats;
 };

@@ -5,19 +5,31 @@
 namespace bulksc {
 
 void
-ScVerifier::chunkCommitted(ProcId p, std::vector<LoggedAccess> log)
+ScVerifier::chunkCommitted(ProcId p,
+                           const std::vector<LoggedAccess> &log)
 {
     ++nChunks;
     for (std::size_t i = 0; i < log.size(); ++i) {
         const LoggedAccess &a = log[i];
         if (a.isWrite) {
-            state[a.addr] = a.value;
+            state[a.addr] = {a.value, a.hasValue};
             ++nWrites;
+            continue;
+        }
+        if (!a.hasValue) {
+            ++nSkippedReads;
             continue;
         }
         ++nReads;
         auto it = state.find(a.addr);
-        std::uint64_t expect = it == state.end() ? 0 : it->second;
+        // An address never written still has its (known) initial
+        // value of 0; one last written by an untracked store has no
+        // usable reference value.
+        if (it != state.end() && !it->second.known) {
+            ++nUnknownReads;
+            continue;
+        }
+        std::uint64_t expect = it == state.end() ? 0 : it->second.value;
         if (a.value != expect && errorLog.size() < 32) {
             std::ostringstream os;
             os << "proc " << p << " chunk " << nChunks << " access "

@@ -21,8 +21,25 @@
  * check, so the exact sets are disjoint too), making concurrent
  * commits commutative in the replay.
  *
- * The checker needs all values tracked, so tests enable the workload
- * generator's trackAllValues mode (each store writes a unique value).
+ * Value tracking: the checker no longer requires the workload
+ * generator's trackAllValues mode. Accesses without a meaningful
+ * value (LoggedAccess::hasValue == false, logged when an
+ * AnalysisEngine is attached) participate in the replay
+ * structurally — an untracked store poisons the reference cell to
+ * "unknown", and loads of unknown cells are counted but not
+ * compared. Structural SC over those accesses is covered by the
+ * axiomatic checker (src/analysis/mem_order_graph.hh), which works
+ * from writer tags instead of values; cross-checking the two on the
+ * tracked subset is how the restriction was lifted.
+ *
+ * Remaining limitation: on partially-tracked workloads the *replay*
+ * checker's value comparison only discriminates between writes that
+ * wrote different tracked values to the same address. Two stores of
+ * the same value to one address are indistinguishable to the replay
+ * (classic ABA), which is exactly why trackAllValues writes unique
+ * values — enable it when the strongest value-level check is wanted,
+ * or rely on the axiomatic checker, which is immune to ABA because
+ * it never infers writers from values.
  */
 
 #ifndef BULKSC_CORE_SC_VERIFIER_HH
@@ -33,17 +50,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/access_log.hh"
 #include "sim/types.hh"
 
 namespace bulksc {
-
-/** One logged access of a chunk, in program order. */
-struct LoggedAccess
-{
-    Addr addr;
-    std::uint64_t value; //!< value observed (load) or written (store)
-    bool isWrite;
-};
 
 /**
  * Serial-replay SC checker for chunked executions.
@@ -58,7 +68,7 @@ class ScVerifier
      * @param p Committing processor.
      * @param log The chunk's accesses in program order.
      */
-    void chunkCommitted(ProcId p, std::vector<LoggedAccess> log);
+    void chunkCommitted(ProcId p, const std::vector<LoggedAccess> &log);
 
     /** @return true iff every replayed load matched. */
     bool verified() const { return errorLog.empty(); }
@@ -67,14 +77,31 @@ class ScVerifier
     std::uint64_t readsChecked() const { return nReads; }
     std::uint64_t writesApplied() const { return nWrites; }
 
+    /** Tracked loads hitting a cell last written by an untracked
+     *  store (compared structurally only, see the header comment). */
+    std::uint64_t unknownValueReads() const { return nUnknownReads; }
+
+    /** Untracked loads (no value to compare at all). */
+    std::uint64_t skippedReads() const { return nSkippedReads; }
+
     /** Human-readable descriptions of any mismatches (capped). */
     const std::vector<std::string> &errors() const { return errorLog; }
 
   private:
-    std::unordered_map<Addr, std::uint64_t> state;
+    /** One reference-memory cell; a cell last written by an untracked
+     *  store holds no usable value. */
+    struct Cell
+    {
+        std::uint64_t value = 0;
+        bool known = true;
+    };
+
+    std::unordered_map<Addr, Cell> state;
     std::uint64_t nChunks = 0;
     std::uint64_t nReads = 0;
     std::uint64_t nWrites = 0;
+    std::uint64_t nUnknownReads = 0;
+    std::uint64_t nSkippedReads = 0;
     std::vector<std::string> errorLog;
 };
 

@@ -86,18 +86,23 @@ ProcessorBase::execSync(const Op &op, std::function<void()> done)
       case OpType::Acquire: {
         // Test-and-set with exponential backoff; atomicity comes from
         // the model's syncRmw primitive.
+        // The stored function must not own itself (a shared_ptr
+        // cycle never frees): it captures a weak_ptr, and each
+        // in-flight continuation carries the strong reference.
         auto attempt = std::make_shared<std::function<void()>>();
         auto attempts = std::make_shared<unsigned>(0);
         Addr lock = op.addr;
-        *attempt = [this, e, lock, done, attempt, attempts] {
+        std::weak_ptr<std::function<void()>> wattempt = attempt;
+        *attempt = [this, e, lock, done, wattempt, attempts] {
             if (epoch != e)
                 return;
+            auto self = wattempt.lock();
             syncRmw(
                 lock,
                 [](std::uint64_t v) {
                     return v == 0 ? std::uint64_t{1} : v;
                 },
-                [this, e, done, attempt,
+                [this, e, done, self,
                  attempts](std::uint64_t old) {
                     if (epoch != e)
                         return;
@@ -110,7 +115,7 @@ ProcessorBase::execSync(const Op &op, std::function<void()> done)
                     unsigned factor =
                         *attempts < 8 ? *attempts : 8;
                     eventq.scheduleAfter(prm.spinPoll * factor,
-                                         [attempt] { (*attempt)(); });
+                                         [self] { (*self)(); });
                 });
         };
         (*attempt)();
@@ -154,12 +159,15 @@ ProcessorBase::execSync(const Op &op, std::function<void()> done)
       case OpType::BarrierWait: {
         Addr gen_addr = op.addr + prm.lineBytes;
         std::uint64_t want = op.aux + 1;
+        // Weak self-capture, as in Acquire above.
         auto poll = std::make_shared<std::function<void()>>();
-        *poll = [this, e, gen_addr, want, done, poll] {
+        std::weak_ptr<std::function<void()>> wpoll = poll;
+        *poll = [this, e, gen_addr, want, done, wpoll] {
             if (epoch != e)
                 return;
+            auto self = wpoll.lock();
             syncLoad(gen_addr,
-                     [this, e, want, done, poll](std::uint64_t v) {
+                     [this, e, want, done, self](std::uint64_t v) {
                          if (epoch != e)
                              return;
                          if (v >= want) {
@@ -168,7 +176,7 @@ ProcessorBase::execSync(const Op &op, std::function<void()> done)
                          }
                          chargeInstrs(prm.spinLoopInstrs);
                          eventq.scheduleAfter(prm.spinPoll,
-                                              [poll] { (*poll)(); });
+                                              [self] { (*self)(); });
                      });
         };
         (*poll)();

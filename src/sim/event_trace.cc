@@ -42,6 +42,10 @@ traceEventTypeName(TraceEventType t)
         return "dir-bounce";
       case TraceEventType::BulkInval:
         return "bulk-inval";
+      case TraceEventType::ScViolation:
+        return "sc-violation";
+      case TraceEventType::RaceDetected:
+        return "race-detected";
       default:
         return "?";
     }
@@ -73,6 +77,9 @@ traceEventCat(TraceEventType t)
       case TraceEventType::DirBounce:
       case TraceEventType::BulkInval:
         return TraceCat::Coherence;
+      case TraceEventType::ScViolation:
+      case TraceEventType::RaceDetected:
+        return TraceCat::Analysis;
       default:
         return TraceCat::Commit;
     }

@@ -52,6 +52,9 @@ enum class TraceEventType : std::uint8_t
     CommitEnd,   //!< all directory acks collected (proc track)
     DirBounce,   //!< read bounced off a committing W (dir track)
     BulkInval,   //!< W delivered to a cache for bulk invalidation
+    ScViolation, //!< axiomatic checker found a cycle (arg = address)
+    RaceDetected, //!< happens-before race (arg = address; cause =
+                  //!< 1 for a racing write)
     NumTypes,
 };
 

@@ -33,7 +33,9 @@ std::string
 format(Args &&...args)
 {
     std::ostringstream os;
-    (os << ... << args);
+    // void-cast: with an empty pack the fold is just `os`, which
+    // would otherwise warn as a statement with no effect.
+    static_cast<void>((os << ... << args));
     return os.str();
 }
 

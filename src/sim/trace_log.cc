@@ -52,6 +52,8 @@ traceCatName(TraceCat cat)
         return "sync";
       case TraceCat::Mem:
         return "mem";
+      case TraceCat::Analysis:
+        return "analysis";
       default:
         return "?";
     }
@@ -94,7 +96,8 @@ parseTraceCategories(const std::string &spec)
         bool matched = false;
         for (TraceCat c : {TraceCat::Chunk, TraceCat::Commit,
                            TraceCat::Squash, TraceCat::Coherence,
-                           TraceCat::Sync, TraceCat::Mem}) {
+                           TraceCat::Sync, TraceCat::Mem,
+                           TraceCat::Analysis}) {
             if (name == traceCatName(c)) {
                 m |= static_cast<std::uint32_t>(c);
                 matched = true;
@@ -105,7 +108,7 @@ parseTraceCategories(const std::string &spec)
             std::fprintf(stderr,
                          "warning: unknown trace category '%s' "
                          "(known: chunk,commit,squash,coherence,sync,"
-                         "mem,all)\n",
+                         "mem,analysis,all)\n",
                          name.c_str());
         }
     }

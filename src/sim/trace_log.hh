@@ -30,6 +30,7 @@ enum class TraceCat : std::uint32_t
     Coherence = 1u << 3, //!< directory / invalidation actions
     Sync = 1u << 4,    //!< locks and barriers
     Mem = 1u << 5,     //!< cache fills and writebacks
+    Analysis = 1u << 6, //!< SC violations and data races found
 };
 
 /** @return the bitmask of enabled categories. */

@@ -69,6 +69,15 @@ struct MachineConfig
     bool warmCaches = true;
 
     /**
+     * Fault injection for negative-testing the analysis subsystem:
+     * the central arbiter grants every Nth commit request that should
+     * have been denied for a signature collision (0 = off, the
+     * default). Only supported with the central arbiter
+     * (numArbiters <= 1).
+     */
+    unsigned faultSkipArbEvery = 0;
+
+    /**
      * Resolve per-model knobs (bulk mode, private-data options, exact
      * signatures) into the sub-configs. Call before building a System.
      */

@@ -27,8 +27,11 @@ System::System(MachineConfig cfg_, std::vector<Trace> traces_)
         if (cfg.numArbiters <= 1) {
             arb = std::make_unique<Arbiter>(
                 eq, *net, np + nd, cfg.arbProcessing, cfg.bulk.rsigOpt,
-                cfg.maxSimulCommits);
+                cfg.maxSimulCommits, cfg.faultSkipArbEvery);
         } else {
+            fatal_if(cfg.faultSkipArbEvery,
+                     "arbiter fault injection needs the central "
+                     "arbiter (numArbiters <= 1)");
             arb = std::make_unique<DistributedArbiter>(
                 eq, *net, np + nd, cfg.numArbiters, cfg.arbProcessing,
                 cfg.bulk.rsigOpt);
@@ -76,6 +79,27 @@ System::enableScVerification()
     for (auto &p : procs) {
         if (auto *bp = dynamic_cast<BulkProcessor *>(p.get()))
             bp->setVerifier(verifier.get());
+    }
+}
+
+void
+System::enableAnalysis(bool axiomatic, bool race)
+{
+    fatal_if(!isBulk(cfg.model),
+             "the analysis engine observes chunk commits (BulkSC "
+             "models)");
+    AnalysisConfig acfg;
+    acfg.axiomatic = axiomatic;
+    acfg.race = race;
+    acfg.numProcs = cfg.numProcs;
+    // The workload generator keeps every synchronization variable
+    // (locks, barrier words) in this dedicated range.
+    acfg.syncLo = layout::kLockBase;
+    acfg.syncHi = layout::kStreamBase;
+    engine = std::make_unique<AnalysisEngine>(acfg);
+    for (auto &p : procs) {
+        if (auto *bp = dynamic_cast<BulkProcessor *>(p.get()))
+            bp->setAnalysis(engine.get());
     }
 }
 
@@ -262,8 +286,13 @@ System::collectStats(Results &res) const
                static_cast<double>(verifier->errors().size()));
     }
 
+    if (engine)
+        engine->dumpStats(sg);
+
     if (arb) {
         const ArbiterStats &as = arb->stats();
+        sg.set("arb.fault_injected_grants",
+               static_cast<double>(as.faultInjectedGrants));
         sg.set("arb.requests", static_cast<double>(as.requests));
         sg.set("arb.grants", static_cast<double>(as.grants));
         sg.set("arb.denials", static_cast<double>(as.denials));

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/analysis_engine.hh"
 #include "core/arbiter.hh"
 #include "core/bulk_processor.hh"
 #include "core/sc_verifier.hh"
@@ -83,6 +84,18 @@ class System
     /** The attached checker, or nullptr. */
     const ScVerifier *scVerifier() const { return verifier.get(); }
 
+    /**
+     * Attach the analysis engine (BulkSC models only): committed
+     * chunks feed the axiomatic SC checker (po ∪ rf ∪ co ∪ fr
+     * acyclicity) and/or the happens-before race detector. Works on
+     * any workload — no value tracking needed. Call before run();
+     * results land in stats ("analysis.*") and via analysis().
+     */
+    void enableAnalysis(bool axiomatic = true, bool race = false);
+
+    /** The attached analysis engine, or nullptr. */
+    const AnalysisEngine *analysis() const { return engine.get(); }
+
     // --- component access for tests and benches ---
     MemorySystem &memory() { return *memSys; }
     Network &network() { return *net; }
@@ -107,6 +120,7 @@ class System
     std::unique_ptr<ArbiterIface> arb;
     std::vector<std::unique_ptr<ProcessorBase>> procs;
     std::unique_ptr<ScVerifier> verifier;
+    std::unique_ptr<AnalysisEngine> engine;
 };
 
 /**

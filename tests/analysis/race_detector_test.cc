@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the vector clock and the happens-before race
+ * detector: join/comparison algebra, unsynchronized conflicting
+ * accesses racing, release/acquire chains ordering them, and the
+ * failed-test-and-set case (a sync *read* must not publish the
+ * reader's prior writes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/race_detector.hh"
+#include "analysis/vector_clock.hh"
+
+namespace bulksc {
+namespace {
+
+constexpr Addr kSyncLo = 0x1000;
+constexpr Addr kSyncHi = 0x2000;
+constexpr Addr kLock = 0x1008;
+constexpr Addr kData = 0x40;
+
+RaceDetector::Config
+cfg(unsigned procs)
+{
+    return {procs, kSyncLo, kSyncHi, 32};
+}
+
+LoggedAccess
+load(Addr a)
+{
+    return {a, 0, false};
+}
+
+LoggedAccess
+store(Addr a)
+{
+    return {a, 0, true};
+}
+
+TEST(VectorClock, JoinIsPointwiseMax)
+{
+    VectorClock a(3), b(3);
+    a[0] = 5;
+    a[2] = 1;
+    b[1] = 7;
+    b[2] = 4;
+    a.join(b);
+    EXPECT_EQ(a[0], 5u);
+    EXPECT_EQ(a[1], 7u);
+    EXPECT_EQ(a[2], 4u);
+    // Join is idempotent.
+    VectorClock before = a;
+    a.join(b);
+    EXPECT_TRUE(a == before);
+}
+
+TEST(VectorClock, LeqIsComponentwise)
+{
+    VectorClock a(2), b(2);
+    a[0] = 1;
+    b[0] = 2;
+    b[1] = 3;
+    EXPECT_TRUE(a.leq(b));
+    EXPECT_FALSE(b.leq(a));
+    // Incomparable pair: neither direction holds.
+    VectorClock x(2), y(2);
+    x[0] = 1;
+    y[1] = 1;
+    EXPECT_FALSE(x.leq(y));
+    EXPECT_FALSE(y.leq(x));
+    EXPECT_TRUE(x.leq(x));
+}
+
+TEST(RaceDetector, UnsynchronizedWriteWriteRaces)
+{
+    RaceDetector rd(cfg(2));
+    rd.chunkCommitted(10, 0, 0, {store(kData)});
+    rd.chunkCommitted(20, 1, 0, {store(kData)});
+    EXPECT_EQ(rd.racesFound(), 1u);
+    EXPECT_EQ(rd.racyAddrs(), 1u);
+    ASSERT_EQ(rd.reports().size(), 1u);
+    const RaceDetector::Report &r = rd.reports()[0];
+    EXPECT_EQ(r.addr, kData);
+    EXPECT_EQ(r.priorProc, 0u);
+    EXPECT_TRUE(r.priorIsWrite);
+    EXPECT_EQ(r.proc, 1u);
+    EXPECT_TRUE(r.isWrite);
+}
+
+TEST(RaceDetector, UnsynchronizedReadWriteRaces)
+{
+    RaceDetector rd(cfg(2));
+    rd.chunkCommitted(10, 0, 0, {load(kData)});
+    rd.chunkCommitted(20, 1, 0, {store(kData)});
+    EXPECT_EQ(rd.racesFound(), 1u);
+
+    // And the mirror: write then unordered read.
+    RaceDetector rd2(cfg(2));
+    rd2.chunkCommitted(10, 0, 0, {store(kData)});
+    rd2.chunkCommitted(20, 1, 0, {load(kData)});
+    EXPECT_EQ(rd2.racesFound(), 1u);
+}
+
+TEST(RaceDetector, ConcurrentReadsDoNotRace)
+{
+    RaceDetector rd(cfg(3));
+    rd.chunkCommitted(10, 0, 0, {load(kData)});
+    rd.chunkCommitted(20, 1, 0, {load(kData)});
+    rd.chunkCommitted(30, 2, 0, {load(kData)});
+    EXPECT_EQ(rd.racesFound(), 0u);
+    EXPECT_EQ(rd.checkedAccesses(), 3u);
+}
+
+TEST(RaceDetector, SameProcessorAccessesAreProgramOrdered)
+{
+    RaceDetector rd(cfg(2));
+    rd.chunkCommitted(10, 0, 0, {store(kData)});
+    rd.chunkCommitted(20, 0, 1, {store(kData), load(kData)});
+    EXPECT_EQ(rd.racesFound(), 0u);
+}
+
+TEST(RaceDetector, ReleaseAcquireOrdersConflictingAccesses)
+{
+    // P0: x = 1; unlock(L).  P1: lock(L); x = 2.  Properly
+    // synchronized: the release/acquire pair on L orders the writes.
+    RaceDetector rd(cfg(2));
+    rd.chunkCommitted(10, 0, 0, {store(kData), store(kLock)});
+    rd.chunkCommitted(20, 1, 0, {load(kLock), store(kData)});
+    EXPECT_EQ(rd.racesFound(), 0u);
+    EXPECT_EQ(rd.syncOps(), 2u);
+    EXPECT_EQ(rd.checkedAccesses(), 2u);
+}
+
+TEST(RaceDetector, TransitiveReleaseAcquireChain)
+{
+    // P0 writes and releases; P1 acquires, releases; P2 acquires and
+    // writes. Ordering is transitive through P1.
+    RaceDetector rd(cfg(3));
+    rd.chunkCommitted(10, 0, 0, {store(kData), store(kLock)});
+    rd.chunkCommitted(20, 1, 0, {load(kLock), store(kLock)});
+    rd.chunkCommitted(30, 2, 0, {load(kLock), store(kData)});
+    EXPECT_EQ(rd.racesFound(), 0u);
+}
+
+TEST(RaceDetector, FailedTasDoesNotPublishThroughTheReader)
+{
+    // P0 writes x, then merely *reads* the lock word (a failed
+    // test-and-set). P1 acquires the same word and writes x. The
+    // acquire must not pick up P0's clock from its failed TAS — the
+    // write to x is unordered and must race.
+    RaceDetector rd(cfg(2));
+    rd.chunkCommitted(10, 0, 0, {store(kData), load(kLock)});
+    rd.chunkCommitted(20, 1, 0, {load(kLock), store(kData)});
+    EXPECT_EQ(rd.racesFound(), 1u);
+}
+
+TEST(RaceDetector, ReleaseOnOneVariableDoesNotCoverAnother)
+{
+    // Release on L1, acquire on a different sync word L2: no ordering.
+    RaceDetector rd(cfg(2));
+    rd.chunkCommitted(10, 0, 0, {store(kData), store(kLock)});
+    rd.chunkCommitted(20, 1, 0,
+                      {load(kSyncLo + 0x100), store(kData)});
+    EXPECT_EQ(rd.racesFound(), 1u);
+}
+
+TEST(RaceDetector, RacesAreCountedBeyondTheReportCap)
+{
+    RaceDetector::Config c = cfg(2);
+    c.reportCap = 2;
+    RaceDetector rd(c);
+    std::vector<LoggedAccess> log0, log1;
+    for (Addr a = 0; a < 5; ++a)
+        log0.push_back(store(0x100 + a * 8));
+    for (Addr a = 0; a < 5; ++a)
+        log1.push_back(store(0x100 + a * 8));
+    rd.chunkCommitted(10, 0, 0, log0);
+    rd.chunkCommitted(20, 1, 0, log1);
+    EXPECT_EQ(rd.racesFound(), 5u);
+    EXPECT_EQ(rd.reports().size(), 2u);
+    EXPECT_EQ(rd.racyAddrs(), 5u);
+}
+
+TEST(RaceDetector, DescribeNamesBothSides)
+{
+    RaceDetector rd(cfg(2));
+    rd.chunkCommitted(10, 0, 3, {store(kData)});
+    rd.chunkCommitted(20, 1, 7, {load(kData)});
+    ASSERT_EQ(rd.reports().size(), 1u);
+    std::string s = rd.describe(rd.reports()[0]);
+    EXPECT_NE(s.find("cpu0#3"), std::string::npos) << s;
+    EXPECT_NE(s.find("cpu1#7"), std::string::npos) << s;
+    EXPECT_NE(s.find("write"), std::string::npos) << s;
+    EXPECT_NE(s.find("read"), std::string::npos) << s;
+}
+
+} // namespace
+} // namespace bulksc

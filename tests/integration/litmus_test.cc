@@ -20,7 +20,13 @@
 namespace bulksc {
 namespace {
 
-/** Run one litmus test under a model; @return SC-allowed? */
+/**
+ * Run one litmus test under a model; @return SC-allowed?
+ *
+ * Bulk models additionally run the axiomatic checker: beyond the
+ * outcome predicate, the committed execution itself must have an
+ * acyclic po ∪ rf ∪ co ∪ fr.
+ */
 bool
 runLitmus(Model m, const LitmusTest &lt)
 {
@@ -28,8 +34,16 @@ runLitmus(Model m, const LitmusTest &lt)
     cfg.model = m;
     cfg.numProcs = static_cast<unsigned>(lt.traces.size());
     System sys(cfg, lt.traces);
+    if (isBulk(m))
+        sys.enableAnalysis();
     Results r = sys.run(50'000'000);
     EXPECT_TRUE(r.completed) << lt.name;
+    if (const AnalysisEngine *eng = sys.analysis()) {
+        EXPECT_TRUE(eng->scOk())
+            << lt.name << ": " << eng->scCycles()
+            << " memory-order cycles";
+        EXPECT_EQ(eng->graph()->unmatchedReads(), 0u) << lt.name;
+    }
     return lt.allowedSC(r.loadResults);
 }
 

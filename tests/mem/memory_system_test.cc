@@ -342,8 +342,9 @@ TEST(MemorySystem, BaselineInvalRaceAlsoCancelled)
     const DirEntry *e = h.mem.peekDir(lineOf(0xF200));
     ASSERT_NE(e, nullptr);
     for (ProcId p = 0; p < 3; ++p) {
-        if (h.mem.l1Contains(p, lineOf(0xF200)))
+        if (h.mem.l1Contains(p, lineOf(0xF200))) {
             EXPECT_TRUE(e->isSharer(p)) << "proc " << p;
+        }
     }
 }
 

@@ -8,6 +8,11 @@
  *                       BSCstpvt | BSCexact        (default BSCdypvt)
  *     --app NAME        one of the 13 workload profiles, or "list"
  *                       (default ocean)
+ *     --litmus NAME     run a litmus test instead of a profile:
+ *                       sb | mp | iriw | corr | 2+2w (procs comes
+ *                       from the test; --seed-salt picks the timing
+ *                       variant; the SC outcome predicate is checked
+ *                       and a forbidden outcome exits 3)
  *     --procs N         processor count               (default 8)
  *     --instrs N        instructions per processor    (default 100000)
  *     --chunk N         chunk size in instructions    (default 1000)
@@ -20,8 +25,22 @@
  *     --no-warm         skip functional cache warming
  *     --contention      model destination-link contention
  *     --seed-salt N     vary the generated traces
- *     --verify          run the SC conformance checker (BulkSC
- *                       models; forces value tracking)
+ *     --check LIST      correctness checkers to run, comma-separated
+ *                       (also accepted as --check=LIST):
+ *                         axiomatic  SC as acyclicity of po∪rf∪co∪fr
+ *                                    over committed chunks (any
+ *                                    workload)
+ *                         race       happens-before data races via
+ *                                    vector clocks (any workload)
+ *                         replay     serial-replay value check
+ *                                    (forces value tracking)
+ *                       exit code 3 on an SC violation, 4 on races
+ *     --verify          alias for --check replay (kept for
+ *                       compatibility)
+ *     --inject-skip-arb N
+ *                       fault injection: the arbiter grants every Nth
+ *                       colliding commit request (negative testing;
+ *                       the axiomatic checker must report a cycle)
  *     --save-traces F   write the generated trace bundle to F
  *     --load-traces F   replay a saved trace bundle instead
  *     --stats           dump every statistic (default: summary)
@@ -47,6 +66,7 @@
 #include "system/system.hh"
 #include "workload/app_profiles.hh"
 #include "workload/generator.hh"
+#include "workload/litmus.hh"
 #include "workload/trace_io.hh"
 
 using namespace bulksc;
@@ -57,14 +77,16 @@ void
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--model M] [--app A] [--procs N] "
-                 "[--instrs N]\n"
+                 "usage: %s [--model M] [--app A] [--litmus T] "
+                 "[--procs N] [--instrs N]\n"
                  "          [--chunk N] [--sig-bits N] [--sig-banks N]"
                  "\n"
                  "          [--arbiters N] [--dirs N] [--dir-cache N]"
                  "\n"
                  "          [--no-rsig] [--no-warm] [--contention] "
                  "[--seed-salt N]\n"
+                 "          [--check axiomatic,race,replay] "
+                 "[--inject-skip-arb N]\n"
                  "          [--verify] [--save-traces F] "
                  "[--load-traces F]\n"
                  "          [--stats] [--json] [--trace-out F] "
@@ -83,6 +105,66 @@ numArg(int argc, char **argv, int &i)
     return std::strtoull(argv[++i], nullptr, 10);
 }
 
+struct CheckSet
+{
+    bool axiomatic = false;
+    bool race = false;
+    bool replay = false;
+
+    bool any() const { return axiomatic || race || replay; }
+};
+
+void
+parseChecks(const std::string &spec, CheckSet &checks,
+            const char *argv0)
+{
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string name = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "axiomatic") {
+            checks.axiomatic = true;
+        } else if (name == "race") {
+            checks.race = true;
+        } else if (name == "replay") {
+            checks.replay = true;
+        } else {
+            std::fprintf(stderr,
+                         "unknown checker '%s' (known: axiomatic,"
+                         "race,replay)\n",
+                         name.c_str());
+            usage(argv0);
+        }
+    }
+}
+
+LitmusTest
+litmusByName(const std::string &name, unsigned variant,
+             const char *argv0)
+{
+    if (name == "sb")
+        return makeStoreBuffering(variant);
+    if (name == "mp")
+        return makeMessagePassing(variant);
+    if (name == "iriw")
+        return makeIriw(variant);
+    if (name == "corr")
+        return makeCoRR(variant);
+    if (name == "2+2w")
+        return make2Plus2W(variant);
+    std::fprintf(stderr,
+                 "unknown litmus test '%s' (known: sb, mp, iriw, "
+                 "corr, 2+2w)\n",
+                 name.c_str());
+    usage(argv0);
+    return {}; // unreachable
+}
+
 } // namespace
 
 int
@@ -92,12 +174,13 @@ main(int argc, char **argv)
 
     std::string model_name = "BSCdypvt";
     std::string app_name = "ocean";
+    std::string litmus_name;
     unsigned procs = 8;
     std::uint64_t instrs = 100'000;
     std::uint64_t seed_salt = 0;
     bool dump_all = false;
     bool json_out = false;
-    bool verify = false;
+    CheckSet checks;
     std::string save_path, load_path;
     std::string trace_out;
     std::string trace_cats = "all";
@@ -146,8 +229,21 @@ main(int argc, char **argv)
             dump_all = true;
         } else if (!std::strcmp(a, "--json")) {
             json_out = true;
+        } else if (!std::strcmp(a, "--litmus")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            litmus_name = argv[++i];
         } else if (!std::strcmp(a, "--verify")) {
-            verify = true;
+            checks.replay = true;
+        } else if (!std::strcmp(a, "--check")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            parseChecks(argv[++i], checks, argv[0]);
+        } else if (!std::strncmp(a, "--check=", 8)) {
+            parseChecks(a + 8, checks, argv[0]);
+        } else if (!std::strcmp(a, "--inject-skip-arb")) {
+            cfg.faultSkipArbEvery =
+                static_cast<unsigned>(numArg(argc, argv, i));
         } else if (!std::strcmp(a, "--save-traces")) {
             if (i + 1 >= argc)
                 usage(argv[0]);
@@ -178,11 +274,19 @@ main(int argc, char **argv)
     cfg.model = modelByName(model_name);
     cfg.numProcs = procs;
     AppProfile app = profileByName(app_name);
-    if (verify)
-        app.trackAllValues = true;
+    if (checks.replay)
+        app.trackAllValues = true; // replay compares observed values
 
     std::vector<Trace> traces;
-    if (!load_path.empty()) {
+    LitmusTest litmus;
+    if (!litmus_name.empty()) {
+        litmus = litmusByName(
+            litmus_name, static_cast<unsigned>(seed_salt), argv[0]);
+        traces = litmus.traces;
+        procs = static_cast<unsigned>(traces.size());
+        cfg.numProcs = procs;
+        app.name = "litmus-" + litmus_name;
+    } else if (!load_path.empty()) {
         traces = loadTraces(load_path);
         if (traces.empty())
             return 1;
@@ -198,9 +302,24 @@ main(int argc, char **argv)
     }
 
     System sys(cfg, std::move(traces));
-    if (verify)
+    if (checks.replay)
         sys.enableScVerification();
+    if (checks.axiomatic || checks.race)
+        sys.enableAnalysis(checks.axiomatic, checks.race);
     Results res = sys.run();
+
+    const AnalysisEngine *eng = sys.analysis();
+    const ScVerifier *rep = sys.scVerifier();
+    bool litmus_forbidden =
+        litmus.allowedSC && res.completed &&
+        !litmus.allowedSC(res.loadResults);
+    bool sc_fail = (rep && !rep->verified()) ||
+                   (eng && !eng->scOk()) || litmus_forbidden;
+    bool races_found = eng && eng->raceCount() > 0;
+    int rc = sc_fail         ? 3
+             : races_found   ? 4
+             : res.completed ? 0
+                             : 2;
 
     if (!trace_out.empty()) {
         const EventTrace &et = EventTrace::instance();
@@ -223,11 +342,66 @@ main(int argc, char **argv)
                     modelName(cfg.model),
                     jsonEscape(app.name).c_str(), procs,
                     res.completed ? "true" : "false");
+        if (litmus.allowedSC) {
+            std::printf(",\n  \"litmus_sc_ok\": %s",
+                        litmus_forbidden ? "false" : "true");
+        }
         for (const auto &[k, v] : res.stats.entries())
             std::printf(",\n  \"%s\": %s", jsonEscape(k).c_str(),
                         jsonNumber(v).c_str());
+        if (eng && eng->graph()) {
+            const MemOrderGraph &g = *eng->graph();
+            std::printf(",\n  \"sc_violations\": [");
+            bool first_v = true;
+            for (const auto &viol : g.violations()) {
+                std::printf("%s\n    {\"tick\": %llu, \"cycle\": "
+                            "\"%s\", \"edges\": [",
+                            first_v ? "" : ",",
+                            static_cast<unsigned long long>(viol.tick),
+                            jsonEscape(g.describe(viol)).c_str());
+                first_v = false;
+                bool first_e = true;
+                for (const auto &e : viol.edges) {
+                    const auto &f = g.node(e.from);
+                    const auto &t = g.node(e.to);
+                    std::printf("%s\n      {\"from\": \"cpu%u#%llu\", "
+                                "\"to\": \"cpu%u#%llu\", \"kind\": "
+                                "\"%s\", \"addr\": \"0x%llx\"}",
+                                first_e ? "" : ",", f.proc,
+                                static_cast<unsigned long long>(f.seq),
+                                t.proc,
+                                static_cast<unsigned long long>(t.seq),
+                                MemOrderGraph::edgeKindName(e.kind),
+                                static_cast<unsigned long long>(
+                                    e.addr));
+                    first_e = false;
+                }
+                std::printf("\n    ]}");
+            }
+            std::printf("\n  ]");
+        }
+        if (eng && eng->races()) {
+            const RaceDetector &rd = *eng->races();
+            std::printf(",\n  \"race_reports\": [");
+            bool first_r = true;
+            for (const auto &r : rd.reports()) {
+                std::printf("%s\n    {\"addr\": \"0x%llx\", "
+                            "\"first\": \"cpu%u#%llu %s\", "
+                            "\"second\": \"cpu%u#%llu %s\"}",
+                            first_r ? "" : ",",
+                            static_cast<unsigned long long>(r.addr),
+                            r.priorProc,
+                            static_cast<unsigned long long>(
+                                r.priorSeq),
+                            r.priorIsWrite ? "write" : "read", r.proc,
+                            static_cast<unsigned long long>(r.seq),
+                            r.isWrite ? "write" : "read");
+                first_r = false;
+            }
+            std::printf("\n  ]");
+        }
         std::printf("\n}\n");
-        return res.completed ? 0 : 2;
+        return rc;
     }
 
     std::printf("model=%s app=%s procs=%u instrs/proc=%llu\n",
@@ -236,26 +410,55 @@ main(int argc, char **argv)
     std::printf("completed=%s exec_time=%llu cycles\n",
                 res.completed ? "yes" : "NO",
                 static_cast<unsigned long long>(res.execTime));
-    if (verify && sys.scVerifier()) {
-        const ScVerifier *v = sys.scVerifier();
-        std::printf("sc-verify: %s (%llu chunks, %llu reads "
-                    "checked)\n",
-                    v->verified() ? "PASS" : "FAIL",
-                    static_cast<unsigned long long>(
-                        v->chunksChecked()),
-                    static_cast<unsigned long long>(
-                        v->readsChecked()));
-        for (const std::string &e : v->errors())
-            std::printf("  %s\n", e.c_str());
-        if (!v->verified())
-            return 3;
+    if (litmus.allowedSC) {
+        std::printf("litmus %s: outcome %s under SC\n",
+                    litmus.name.c_str(),
+                    litmus_forbidden ? "FORBIDDEN" : "allowed");
     }
+    if (rep) {
+        std::printf("sc-replay: %s (%llu chunks, %llu reads "
+                    "checked)\n",
+                    rep->verified() ? "PASS" : "FAIL",
+                    static_cast<unsigned long long>(
+                        rep->chunksChecked()),
+                    static_cast<unsigned long long>(
+                        rep->readsChecked()));
+        for (const std::string &e : rep->errors())
+            std::printf("  %s\n", e.c_str());
+    }
+    if (eng && eng->graph()) {
+        const MemOrderGraph &g = *eng->graph();
+        std::printf("sc-axiomatic: %s (%zu chunks, %zu edges, "
+                    "%llu cycles)\n",
+                    g.ok() ? "PASS" : "FAIL", g.numNodes(),
+                    g.numEdges(),
+                    static_cast<unsigned long long>(
+                        g.cyclesDetected()));
+        for (const auto &viol : g.violations())
+            std::printf("  cycle @%llu: %s\n",
+                        static_cast<unsigned long long>(viol.tick),
+                        g.describe(viol).c_str());
+    }
+    if (eng && eng->races()) {
+        const RaceDetector &rd = *eng->races();
+        std::printf("races: %llu racy pairs on %zu addresses "
+                    "(%llu accesses checked, %llu sync ops)\n",
+                    static_cast<unsigned long long>(rd.racesFound()),
+                    rd.racyAddrs(),
+                    static_cast<unsigned long long>(
+                        rd.checkedAccesses()),
+                    static_cast<unsigned long long>(rd.syncOps()));
+        for (const auto &r : rd.reports())
+            std::printf("  %s\n", rd.describe(r).c_str());
+    }
+    if (sc_fail || races_found)
+        return rc;
 
     if (dump_all) {
         std::ostringstream os;
         res.stats.dump(os);
         std::fputs(os.str().c_str(), stdout);
-        return res.completed ? 0 : 2;
+        return rc;
     }
 
     std::printf("retired=%.0f wasted=%.0f (%.2f%% squashed) "
@@ -287,5 +490,5 @@ main(int argc, char **argv)
                 res.stats.get("net.bits.WrSig"),
                 res.stats.get("net.bits.Inv"),
                 res.stats.get("net.bits.Other"));
-    return res.completed ? 0 : 2;
+    return rc;
 }
