@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "system/sim_options.hh"
 #include "system/system.hh"
 #include "workload/app_profiles.hh"
 #include "workload/generator.hh"
@@ -74,6 +75,29 @@ inline void
 printHeader(const char *title)
 {
     std::printf("\n=== %s ===\n", title);
+}
+
+/**
+ * Bench argument parsing through the shared option registry: the same
+ * --procs/--instrs/--chunk/... names as the simulator and the batch
+ * runner. The BULKSC_INSTRS environment variable seeds the instruction
+ * count (flags override it). Prints usage and exits on bad flags.
+ */
+inline SimOptions
+benchOptions(int argc, char **argv, std::uint64_t default_instrs)
+{
+    SimOptions opts;
+    opts.instrs = instrsFromEnv(default_instrs);
+    const OptionRegistry &reg = OptionRegistry::instance();
+    std::string err;
+    if (!reg.parse(argc - 1, argv + 1, opts, OptionGroup::Bench,
+                   err)) {
+        std::fprintf(stderr, "%s: %s\nusage: %s [options]\n",
+                     argv[0], err.c_str(), argv[0]);
+        reg.printUsage(stderr, OptionGroup::Bench);
+        std::exit(1);
+    }
+    return opts;
 }
 
 } // namespace bulksc::bench

@@ -17,12 +17,13 @@ using namespace bulksc;
 using namespace bulksc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
-    const std::uint64_t instrs = instrsFromEnv(60'000);
+    const SimOptions opts = benchOptions(argc, argv, 60'000);
+    const std::uint64_t instrs = opts.instrs;
     const auto apps = appsFromEnv();
-    const unsigned procs = 8;
+    const unsigned procs = opts.cfg.numProcs;
 
     const std::vector<Model> models = {
         Model::SC,      Model::RC,       Model::SCpp,

@@ -100,6 +100,33 @@ struct Chunk
     Signature w;     //!< write signature (consistency-visible)
     Signature wpriv; //!< private-write signature (Section 5)
 
+    /**
+     * Exact speculative write lines of this chunk, the model of the
+     * per-line chunk-id bits the BDM keeps in the L1. Unlike the
+     * signatures' optional exact mirror (stats metadata), these sets
+     * are functional state: L1 way-overflow checks, squash discard,
+     * and directory selection at commit read them, so they are
+     * maintained in every mode. Writes only — loads stay mirror-free.
+     */
+    std::unordered_set<LineAddr> wLines;
+    std::unordered_set<LineAddr> wprivLines;
+
+    /** Insert into W and its exact line set. */
+    void
+    addW(LineAddr l)
+    {
+        w.insert(l);
+        wLines.insert(l);
+    }
+
+    /** Insert into Wpriv and its exact line set. */
+    void
+    addWpriv(LineAddr l)
+    {
+        wpriv.insert(l);
+        wprivLines.insert(l);
+    }
+
     /** Speculative values written by this chunk (tracked addrs). */
     std::unordered_map<Addr, std::uint64_t> specValues;
 

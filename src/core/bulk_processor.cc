@@ -117,7 +117,7 @@ bool
 BulkProcessor::anyLiveWExact(LineAddr line) const
 {
     for (const auto &c : chunks) {
-        if (c->w.containsExact(line))
+        if (c->wLines.count(line))
             return true;
     }
     return false;
@@ -168,31 +168,31 @@ BulkProcessor::storeToChunk(Chunk &c, Addr addr, bool stack_ref,
     LineAddr line = lineOf(addr, prm.lineBytes);
 
     if (bprm.statPrivOpt && stack_ref) {
-        c.wpriv.insert(line);
+        c.addWpriv(line);
     } else if (mem.l1State(pid, line) == LineState::Dirty &&
                !anyLiveW(line)) {
         // The line is dirty non-speculative: its current contents are
         // committed state that a squash must not destroy.
         if (bprm.dynPrivOpt) {
             if (anyLiveWpriv(line)) {
-                c.wpriv.insert(line);
+                c.addWpriv(line);
             } else if (privBuf.insert(line)) {
                 c.privBufLines.push_back(line);
-                c.wpriv.insert(line);
+                c.addWpriv(line);
             } else {
                 ++bstats.privBufferOverflows;
                 mem.writebackLine(pid, line);
-                c.w.insert(line);
+                c.addW(line);
             }
         } else {
             // BSCbase: write the old version back to memory, then
             // treat the write as ordinary speculative state.
             ++bstats.baseWritebacks;
             mem.writebackLine(pid, line);
-            c.w.insert(line);
+            c.addW(line);
         }
     } else {
-        c.w.insert(line);
+        c.addW(line);
     }
 
     if (tracked)
@@ -239,11 +239,11 @@ BulkProcessor::wouldOverflowSet(LineAddr line) const
     const std::uint64_t num_sets = mem.params().l1.numSets();
     std::unordered_set<LineAddr> set_lines;
     for (const auto &ch : chunks) {
-        for (LineAddr l : ch->w.exactLines()) {
+        for (LineAddr l : ch->wLines) {
             if (l % num_sets == line % num_sets)
                 set_lines.insert(l);
         }
-        for (LineAddr l : ch->wpriv.exactLines()) {
+        for (LineAddr l : ch->wprivLines) {
             if (l % num_sets == line % num_sets)
                 set_lines.insert(l);
         }
@@ -442,9 +442,12 @@ BulkProcessor::maybeArbitrate()
     front.arbitrating = true;
     if (front.firstArbTick == kTickNever)
         front.firstArbTick = curTick();
+    // |W| and |Wpriv| come from the functional line sets; |R| needs
+    // the stats mirror (reads are never tracked exactly on the fast
+    // path) and reads 0 when it is off.
     bstats.rSizeSum += static_cast<double>(front.r.exactSize());
-    bstats.wSizeSum += static_cast<double>(front.w.exactSize());
-    bstats.wprivSizeSum += static_cast<double>(front.wpriv.exactSize());
+    bstats.wSizeSum += static_cast<double>(front.wLines.size());
+    bstats.wprivSizeSum += static_cast<double>(front.wprivLines.size());
 
     auto w = std::make_shared<Signature>(front.w);
     std::uint64_t seq = front.seq;
@@ -510,7 +513,7 @@ BulkProcessor::onGranted(std::uint64_t seq, std::shared_ptr<Signature> w)
     }
     TRACE_LOG(TraceCat::Commit, curTick(), name(), ": chunk ", seq,
               " granted (", c->execInstrs, " instrs, |W|=",
-              w->exactSize(), ", |R|=", c->r.exactSize(), ")");
+              c->wLines.size(), ", |R|=", c->r.exactSize(), ")");
     EVENT_TRACE(TraceEventType::ChunkCommit, curTick(), trackProc(pid),
                 seq, c->execInstrs);
 
@@ -534,9 +537,12 @@ BulkProcessor::onGranted(std::uint64_t seq, std::shared_ptr<Signature> w)
     // the directory for expansion (Section 5.1).
     if (bprm.statPrivOpt && !c->wpriv.empty()) {
         auto wp = std::make_shared<Signature>(std::move(c->wpriv));
-        mem.bulkCommit(pid, wp, [] {}, nullptr);
+        mem.bulkCommit(pid, wp, [] {}, nullptr, &c->wprivLines);
     }
 
+    // The chunk dies with pop_front; its exact write lines outlive it
+    // just long enough to pick the directories W must visit.
+    std::unordered_set<LineAddr> w_lines = std::move(c->wLines);
     chunks.pop_front();
     consecutiveSquashes = 0;
     nextChunkTarget = bprm.chunkSize;
@@ -545,7 +551,7 @@ BulkProcessor::onGranted(std::uint64_t seq, std::shared_ptr<Signature> w)
     if (!w->empty()) {
         ++committingCount;
         EVENT_TRACE(TraceEventType::CommitBegin, curTick(),
-                    trackProc(pid), seq, w->exactSize());
+                    trackProc(pid), seq, w_lines.size());
         mem.bulkCommit(pid, w,
                        [this, w, seq] {
                            EVENT_TRACE(TraceEventType::CommitEnd,
@@ -554,7 +560,7 @@ BulkProcessor::onGranted(std::uint64_t seq, std::shared_ptr<Signature> w)
                            --committingCount;
                            advance();
                        },
-                       &bstats.invalNodes);
+                       &bstats.invalNodes, &w_lines);
     }
     advance();
 }
@@ -566,13 +572,18 @@ BulkProcessor::onRemoteWSig(const Signature &wc)
         Chunk &c = *chunks[i];
         if (wc.intersects(c.r) || wc.intersects(c.w)) {
             // Attribute the squash: the Bloom encodings intersected,
-            // but did the exact address sets? The BDM's exact mirrors
-            // make this check free in simulation (Section 7 separates
-            // real conflicts from signature aliasing).
-            bool real = wc.intersectsExact(c.r) ||
-                        wc.intersectsExact(c.w);
-            squashFrom(i, real ? SquashCause::TrueConflict
-                               : SquashCause::FalsePositive);
+            // but did the exact address sets? The exact mirrors make
+            // this check free in simulation (Section 7 separates real
+            // conflicts from signature aliasing); without them the
+            // squash is counted but left unattributed.
+            SquashCause cause = SquashCause::Unattributed;
+            if (wc.tracksExact() && c.r.tracksExact()) {
+                bool real = wc.intersectsExact(c.r) ||
+                            wc.intersectsExact(c.w);
+                cause = real ? SquashCause::TrueConflict
+                             : SquashCause::FalsePositive;
+            }
+            squashFrom(i, cause);
             return;
         }
     }
@@ -585,8 +596,10 @@ BulkProcessor::squashFrom(std::size_t idx, SquashCause cause)
     ++consecutiveSquashes;
     if (cause == SquashCause::TrueConflict)
         ++bstats.trueConflictSquashes;
-    else
+    else if (cause == SquashCause::FalsePositive)
         ++bstats.falsePositiveSquashes;
+    else
+        ++bstats.unattributedSquashes;
     TRACE_LOG(TraceCat::Squash, curTick(), name(), ": squashing ",
               chunks.size() - idx, " chunk(s) from seq ",
               chunks[idx]->seq, ", rollback to op ",
@@ -604,7 +617,7 @@ BulkProcessor::squashFrom(std::size_t idx, SquashCause cause)
         EVENT_TRACE(TraceEventType::ChunkSquash, curTick(),
                     trackProc(pid), c.seq, c.execInstrs,
                     static_cast<std::uint8_t>(cause));
-        mem.l1DiscardSpeculative(pid, c.w);
+        mem.l1DiscardSpeculative(pid, c.w, &c.wLines);
         for (LineAddr line : c.privBufLines) {
             privBuf.erase(line);
             mem.restoreLine(pid, line);
@@ -650,9 +663,9 @@ BulkProcessor::onLineDisplaced(LineAddr line, bool dirty)
     (void)dirty;
     // Displacements never squash in BulkSC: the R signature still
     // covers displaced clean lines (Section 4.1.1). Counted for the
-    // paper's Table 3.
+    // paper's Table 3; the read-side count needs the stats mirror.
     for (const auto &c : chunks) {
-        if (c->r.containsExact(line)) {
+        if (c->r.tracksExact() && c->r.containsExact(line)) {
             ++bstats.specReadDisplacements;
             return;
         }

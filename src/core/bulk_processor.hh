@@ -104,6 +104,10 @@ struct BulkStats
      *  intersected (signature aliasing). */
     std::uint64_t falsePositiveSquashes = 0;
 
+    /** Squashes that could not be attributed because the exact
+     *  mirrors were disabled (signature.track-exact=0). */
+    std::uint64_t unattributedSquashes = 0;
+
     /** First commit request to grant, per committed chunk (cycles). */
     Histogram arbLatency;
 

@@ -125,7 +125,10 @@ Directory::expand(const Signature &w, ProcId committer)
 
     for (LineAddr line : candidates) {
         ++res.lookups;
-        bool truly_written = w.containsExact(line);
+        // Aliasing stats (Table 4) need the exact mirror; without it
+        // every lookup counts as genuine.
+        bool truly_written =
+            !w.tracksExact() || w.containsExact(line);
         if (!truly_written)
             ++res.aliasLookups;
 

@@ -352,7 +352,8 @@ MemorySystem::handleDirDisplacements(
 
 void
 MemorySystem::applyBulkInval(ProcId p, const Signature &w,
-                             bool spec_discard)
+                             bool spec_discard,
+                             const std::unordered_set<LineAddr> *spec_lines)
 {
     L1 &c = l1s[p];
     const std::uint64_t num_sets = c.array.geometry().numSets();
@@ -388,10 +389,16 @@ MemorySystem::applyBulkInval(ProcId p, const Signature &w,
     }
 
     for (LineAddr line : victims) {
-        bool exact = w.containsExact(line);
-        if (!exact && !spec_discard)
+        // Aliasing stat: a commit-side invalidation that hit a
+        // non-member line. Needs the stats mirror to be countable.
+        if (!spec_discard && w.tracksExact() && !w.containsExact(line))
             ++nExtraInvals;
-        bool spec_data = spec_discard && exact;
+        // Squash discard: the chunk's truly written lines (its
+        // per-line chunk-id bits) drop without writeback; aliased
+        // victims hold committed data that must stay safe.
+        bool spec_data =
+            spec_discard && (spec_lines ? spec_lines->count(line) != 0
+                                        : w.containsExact(line));
         const CacheLine *e = c.array.peek(line);
         if (e && e->state == LineState::Dirty && !spec_data) {
             // Committed dirty data hit by (aliased) bulk invalidation:
@@ -413,7 +420,8 @@ MemorySystem::applyBulkInval(ProcId p, const Signature &w,
 void
 MemorySystem::bulkCommit(ProcId committer, std::shared_ptr<Signature> w,
                          std::function<void()> done,
-                         unsigned *inval_nodes_out)
+                         unsigned *inval_nodes_out,
+                         const std::unordered_set<LineAddr> *w_lines)
 {
     if (w->empty()) {
         done();
@@ -426,8 +434,11 @@ MemorySystem::bulkCommit(ProcId committer, std::shared_ptr<Signature> w,
     if (dirs.size() == 1) {
         involved.push_back(0);
     } else {
+        panic_if(!w_lines && !w->tracksExact(),
+                 "multi-directory commit needs the chunk's written "
+                 "lines or an exact-tracking signature");
         std::vector<bool> mark(dirs.size(), false);
-        for (LineAddr l : w->exactLines()) {
+        for (LineAddr l : w_lines ? *w_lines : w->exactLines()) {
             unsigned d = dirOf(l);
             if (!mark[d]) {
                 mark[d] = true;
@@ -561,9 +572,11 @@ MemorySystem::l1State(ProcId p, LineAddr line) const
 }
 
 void
-MemorySystem::l1DiscardSpeculative(ProcId p, const Signature &w)
+MemorySystem::l1DiscardSpeculative(
+    ProcId p, const Signature &w,
+    const std::unordered_set<LineAddr> *spec_lines)
 {
-    applyBulkInval(p, w, true);
+    applyBulkInval(p, w, true, spec_lines);
 }
 
 void

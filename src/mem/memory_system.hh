@@ -153,16 +153,29 @@ class MemorySystem : public SimObject
      * @param w Shared so in-flight commits keep it alive.
      * @param inval_nodes_out If non-null, receives the total number of
      *        processors that were sent W (Table 4 "Nodes per W Sig").
+     * @param w_lines The chunk's exact written lines (Chunk::wLines),
+     *        used to pick the involved directory modules. Only read
+     *        synchronously, so a stack-local set is fine. When null,
+     *        falls back to the signature's exact mirror (tests), which
+     *        multi-directory configs then require.
      */
     void bulkCommit(ProcId committer, std::shared_ptr<Signature> w,
                     std::function<void()> done,
-                    unsigned *inval_nodes_out = nullptr);
+                    unsigned *inval_nodes_out = nullptr,
+                    const std::unordered_set<LineAddr> *w_lines = nullptr);
 
     /**
      * Discard @p p's speculatively written lines (all lines of its L1
      * that are members of @p w) — chunk squash.
+     *
+     * @param spec_lines The chunk's truly written lines (the per-line
+     *        chunk-id bits): members are dropped without writeback,
+     *        aliased victims keep their committed data safe in the L2.
+     *        When null, falls back to @p w's exact mirror.
      */
-    void l1DiscardSpeculative(ProcId p, const Signature &w);
+    void l1DiscardSpeculative(
+        ProcId p, const Signature &w,
+        const std::unordered_set<LineAddr> *spec_lines = nullptr);
 
     /** Re-insert @p line as dirty in @p p's L1 (Private Buffer restore). */
     void restoreLine(ProcId p, LineAddr line);
@@ -257,7 +270,9 @@ class MemorySystem : public SimObject
     void dirHandleRequest(ProcId p, LineAddr line, MemCmd cmd);
     void finishFill(ProcId p, LineAddr line, MemCmd cmd);
     void sendInval(ProcId target, LineAddr line);
-    void applyBulkInval(ProcId p, const Signature &w, bool discard_only);
+    void applyBulkInval(ProcId p, const Signature &w, bool discard_only,
+                        const std::unordered_set<LineAddr> *spec_lines =
+                            nullptr);
     void handleDirDisplacements(
         unsigned dir_idx, const std::vector<DirDisplacement> &disp);
     void dirHandleCommit(unsigned dir_idx, ProcId committer,

@@ -76,7 +76,8 @@ Signature::bank0Index(LineAddr line) const
 void
 Signature::insert(LineAddr line)
 {
-    exactSet.insert(line);
+    if (tracksExact())
+        exactSet.insert(line);
     for (unsigned b = 0; b < cfg.numBanks; ++b) {
         std::uint32_t idx = bankIndex(b, line);
         bits[std::size_t{b} * wordsPerBank + idx / 64] |=

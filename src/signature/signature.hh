@@ -42,6 +42,17 @@ struct SignatureConfig
     /** If true, behave as an alias-free (exact) signature: BSCexact. */
     bool exact = false;
 
+    /**
+     * Maintain the exact mirror set alongside the Bloom bits. The
+     * mirror is simulation metadata: it feeds statistics (true set
+     * sizes, aliasing rates, squash attribution) and the distributed
+     * arbiter's range partitioning. Plain timing runs can turn it off
+     * so the hot path never touches an unordered_set; exec times are
+     * unaffected. Forced on for exact mode (the mirror IS the
+     * signature there) and for multi-module arbiters.
+     */
+    bool trackExact = true;
+
     /** Seed selecting the per-bank hash permutations. */
     std::uint64_t hashSeed = 0xb01d'5c5cULL;
 
@@ -69,8 +80,12 @@ class Signature
      */
     bool contains(LineAddr line) const;
 
-    /** Precise membership against the exact mirror (stats only). */
+    /** Precise membership against the exact mirror (stats only).
+     *  Meaningless unless tracksExact(). */
     bool containsExact(LineAddr line) const;
+
+    /** True iff the exact mirror is being maintained. */
+    bool tracksExact() const { return cfg.exact || cfg.trackExact; }
 
     /** @return true iff the signature encodes no addresses (=∅). */
     bool empty() const;

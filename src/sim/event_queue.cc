@@ -1,37 +1,129 @@
 #include "sim/event_queue.hh"
 
-#include "sim/logging.hh"
+#include <algorithm>
+#include <bit>
 
 namespace bulksc {
 
-void
-EventQueue::schedule(Tick when, Callback cb)
+std::vector<EventQueue::Callback> &
+EventQueue::farBatch(Tick when)
 {
-    panic_if(when < _now, "scheduling event in the past: ", when,
-             " < ", _now);
-    events.push(Event{when, nextSeq++, std::move(cb)});
+    if (when < farNext)
+        farNext = when;
+    // Descending by tick: lower_bound finds the first entry at or
+    // below `when`. The list holds a handful of long waits at most.
+    auto it = std::lower_bound(
+        far.begin(), far.end(), when,
+        [](const auto &e, Tick w) { return e.first > w; });
+    if (it == far.end() || it->first != when)
+        it = far.emplace(it, when, std::move(spare));
+    return it->second;
+}
+
+Tick
+EventQueue::nextWheelTick() const
+{
+    // The slot for now() is split: bits at or above its position are
+    // at distance countr_zero; bits below it wrapped a full lap. The
+    // summary word covers every other slot word in one scan, with the
+    // starting word's wrapped low bits reappearing as distance
+    // kHorizon (i == kWords).
+    const std::size_t start = static_cast<std::size_t>(_now) & kMask;
+    const std::size_t word = start / 64;
+    const std::size_t off = start % 64;
+    std::uint64_t bits = occupied[word] >> off;
+    if (bits)
+        return _now + std::countr_zero(bits);
+    // Rotate the summary so bit 0 is the word after the current one
+    // (kWords-bit rotate; both shifts are < 64).
+    const std::size_t r = word + 1;
+    std::uint64_t rot = ((std::uint64_t{summary} >> r) |
+                         (std::uint64_t{summary} << (kWords - r))) &
+                        ((std::uint64_t{1} << kWords) - 1);
+    if (!rot)
+        return kTickNever;
+    std::size_t i = std::countr_zero(rot) + std::size_t{1};
+    std::size_t w = (word + i) % kWords;
+    return _now + i * 64 - off + std::countr_zero(occupied[w]);
+}
+
+std::size_t
+EventQueue::size() const
+{
+    std::size_t n = cur.size() - curHead;
+    for (const auto &b : wheel)
+        n += b.size();
+    for (const auto &[t, evs] : far)
+        n += evs.size();
+    return n;
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    if (curHead < cur.size())
+        return _now;
+    Tick tw = nextWheelTick();
+    return tw < farNext ? tw : farNext;
+}
+
+void
+EventQueue::pullFar()
+{
+    spare = std::move(cur);
+    cur = std::move(far.back().second);
+    far.pop_back();
+    farNext = far.empty() ? kTickNever : far.back().first;
 }
 
 bool
 EventQueue::step()
 {
-    if (events.empty())
-        return false;
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because we pop immediately afterwards.
-    Event ev = std::move(const_cast<Event &>(events.top()));
-    events.pop();
-    _now = ev.when;
+    if (curHead >= cur.size()) {
+        cur.clear();
+        curHead = 0;
+        if (!pullBatch(kTickNever))
+            return false;
+    }
+
     ++fired;
-    ev.cb();
+    cur[curHead]();
+    ++curHead;
+    if (curHead >= cur.size()) {
+        cur.clear();
+        curHead = 0;
+    }
     return true;
 }
 
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!events.empty() && events.top().when <= limit)
-        step();
+    for (;;) {
+        if (curHead < cur.size()) {
+            // An in-progress batch's tick is _now; normally <= limit,
+            // or it would not have been pulled — but a caller may
+            // pass a limit below now() after stepping.
+            if (_now > limit)
+                break;
+            // Invoke in place: no per-event move or destroy.
+            // Callbacks never touch cur (reschedules go to buckets or
+            // far), so the batch extent is loop-invariant;
+            // non-trivial callbacks are destroyed wholesale by the
+            // clear() when the batch is exhausted.
+            Callback *const evs = cur.data();
+            const std::size_t n = cur.size();
+            fired += n - curHead;
+            for (std::size_t i = curHead; i < n; ++i)
+                evs[i]();
+            curHead = n;
+            continue;
+        }
+        cur.clear();
+        curHead = 0;
+        if (!pullBatch(limit))
+            break;
+    }
     return _now;
 }
 

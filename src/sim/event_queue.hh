@@ -6,17 +6,32 @@
  * callbacks scheduled at an absolute tick; events scheduled for the same
  * tick fire in FIFO order of scheduling, which makes every simulation run
  * bit-for-bit reproducible.
+ *
+ * The kernel is a timing wheel: events within kHorizon ticks of now()
+ * land in per-tick bucket vectors addressed by `when mod kHorizon`, and
+ * a bitmap over the buckets finds the next occupied tick with a couple
+ * of word scans. A due bucket is swapped whole into a scratch batch and
+ * its callbacks invoked in place — no per-event move — while same-tick
+ * reschedules accumulate in the (emptied) bucket for the next pass.
+ * The swap also ping-pongs vector capacity between the scratch batch
+ * and the buckets, and the InlineCallback event representation stores
+ * captures in place, so steady-state scheduling performs no heap
+ * allocation at all. The rare event beyond the horizon (idle-phase
+ * timeouts, run limits) waits in a tick-keyed overflow map whose
+ * batches drain through the same scratch buffer.
  */
 
 #ifndef BULKSC_SIM_EVENT_QUEUE_HH
 #define BULKSC_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_callback.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace bulksc {
@@ -28,7 +43,13 @@ namespace bulksc {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
+
+    /** Wheel span in ticks (power of two). Covers every latency the
+     *  machine model schedules on its hot path (memory round trip 300,
+     *  capped spin backoff 200) while keeping the bucket headers small
+     *  enough to stay L1-resident; longer waits take the far path. */
+    static constexpr std::size_t kHorizon = 512;
 
     EventQueue() = default;
 
@@ -41,25 +62,51 @@ class EventQueue
     /**
      * Schedule a callback at an absolute tick.
      *
+     * The event is emplace-constructed directly in its bucket — no
+     * intermediate Callback object, no move.
+     *
      * @param when Absolute tick; must be >= now().
-     * @param cb Callback to invoke.
+     * @param f Callable to invoke.
      */
-    void schedule(Tick when, Callback cb);
+    template <typename F>
+    void
+    schedule(Tick when, F &&f)
+    {
+        panic_if(when < _now, "scheduling event in the past: ", when,
+                 " < ", _now);
+        if (when - _now < kHorizon) {
+            std::size_t idx = static_cast<std::size_t>(when) & kMask;
+            wheel[idx].emplace_back(std::forward<F>(f));
+            markBucket(idx);
+        } else {
+            farBatch(when).emplace_back(std::forward<F>(f));
+        }
+    }
 
     /**
      * Schedule a callback @p delta ticks in the future.
      */
+    template <typename F>
     void
-    scheduleAfter(Tick delta, Callback cb)
+    scheduleAfter(Tick delta, F &&f)
     {
-        schedule(_now + delta, std::move(cb));
+        schedule(_now + delta, std::forward<F>(f));
     }
 
     /** @return true if no events remain. */
-    bool empty() const { return events.empty(); }
+    bool
+    empty() const
+    {
+        return summary == 0 && far.empty() && curHead >= cur.size();
+    }
 
-    /** @return the number of pending events. */
-    std::size_t size() const { return events.size(); }
+    /** @return the number of pending events (walks the wheel — meant
+     *  for tests and teardown checks, not the simulation hot path). */
+    std::size_t size() const;
+
+    /** @return the tick of the earliest pending event (kTickNever if
+     *  the queue is empty). */
+    Tick nextEventTick() const;
 
     /**
      * Run until the queue drains or @p limit ticks is reached.
@@ -80,27 +127,96 @@ class EventQueue
     std::uint64_t eventsFired() const { return fired; }
 
   private:
-    struct Event
-    {
-        Tick when;
-        std::uint64_t seq;
-        Callback cb;
-    };
+    static constexpr std::size_t kMask = kHorizon - 1;
+    static constexpr std::size_t kWords = kHorizon / 64;
 
-    struct Later
+    /** Earliest occupied wheel tick, or kTickNever. All wheel events
+     *  satisfy when in [_now, _now + kHorizon), so the bucket index
+     *  uniquely identifies the tick. */
+    Tick nextWheelTick() const;
+
+    /** Pull the next due batch (far batches at a tick precede wheel
+     *  events at the same tick: they were necessarily scheduled at an
+     *  earlier now()) into cur and advance _now. @return false if the
+     *  earliest batch is past @p limit (nothing pulled). Defined here
+     *  so the per-batch hot path inlines into run()/step(). */
+    bool
+    pullBatch(Tick limit)
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+        Tick tw = nextWheelTick();
+        Tick t = tw < farNext ? tw : farNext;
+        if (t == kTickNever || t > limit)
+            return false;
+        _now = t;
+        if (farNext <= tw) [[unlikely]] {
+            pullFar();
+        } else {
+            // Swap the due bucket out whole; same-tick events
+            // appended by a firing callback land in the (emptied)
+            // bucket, re-mark it, and are pulled by the caller's
+            // recheck — preserving global FIFO order within the tick.
+            std::size_t idx = static_cast<std::size_t>(t) & kMask;
+            cur.swap(wheel[idx]);
+            clearBucket(idx);
         }
-    };
+        curHead = 0;
+        return true;
+    }
 
-    std::priority_queue<Event, std::vector<Event>, Later> events;
+    /** Move the earliest far batch into cur, recycling cur's storage
+     *  through the spare slot. */
+    void pullFar();
+
+    void
+    markBucket(std::size_t idx)
+    {
+        occupied[idx / 64] |= std::uint64_t{1} << (idx % 64);
+        summary |= std::uint32_t{1} << (idx / 64);
+    }
+
+    void
+    clearBucket(std::size_t idx)
+    {
+        std::uint64_t w = occupied[idx / 64] &=
+            ~(std::uint64_t{1} << (idx % 64));
+        if (!w)
+            summary &= ~(std::uint32_t{1} << (idx / 64));
+    }
+
+    /** The far batch for tick @p when (>= kHorizon out), created if
+     *  needed; keeps the overflow list sorted and farNext current. */
+    std::vector<Callback> &farBatch(Tick when);
+
+    std::array<std::vector<Callback>, kHorizon> wheel;
+    std::uint64_t occupied[kWords] = {};
+
+    /** One bit per occupied[] word with any bit set: finds the next
+     *  occupied wheel slot without looping over the bitmap. */
+    std::uint32_t summary = 0;
+    static_assert(kWords <= 32, "summary bitmap is one 32-bit word");
+
+    /** Events at least kHorizon ticks out: (tick, batch) pairs sorted
+     *  by tick descending, so the earliest batch pops off the back.
+     *  Entries are few (long io waits, run limits) and the vector
+     *  recycles its storage — no per-event node allocation. */
+    std::vector<std::pair<Tick, std::vector<Callback>>> far;
+
+    /** Cached earliest far tick (kTickNever when far is empty), so
+     *  the per-batch scheduling decision is two compares. */
+    Tick farNext = kTickNever;
+
+    /** Spare batch storage: far entry -> cur -> spare -> next far
+     *  entry, so far scheduling allocates nothing in steady state. */
+    std::vector<Callback> spare;
+
+    /** The batch currently being drained (its tick == _now): a wheel
+     *  bucket swapped out whole, or a far-map batch. Callbacks are
+     *  invoked in place through curHead; the vector is cleared (keeping
+     *  capacity) only once the whole batch has fired. */
+    std::vector<Callback> cur;
+    std::size_t curHead = 0;
+
     Tick _now = 0;
-    std::uint64_t nextSeq = 0;
     std::uint64_t fired = 0;
 };
 

@@ -59,6 +59,8 @@ squashCauseName(SquashCause c)
         return "true-conflict";
       case SquashCause::FalsePositive:
         return "false-positive";
+      case SquashCause::Unattributed:
+        return "unattributed";
       default:
         return "none";
     }

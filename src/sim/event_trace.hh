@@ -64,6 +64,7 @@ enum class SquashCause : std::uint8_t
     None = 0,
     TrueConflict,  //!< the exact R/W sets really intersect W
     FalsePositive, //!< only the Bloom encodings intersect (aliasing)
+    Unattributed,  //!< exact mirrors off — cause unknown
 };
 
 /** Short printable name of an event type. */

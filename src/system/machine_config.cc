@@ -48,6 +48,78 @@ isBulk(Model m)
            m == Model::BSCstpvt || m == Model::BSCexact;
 }
 
+bool
+MachineConfig::validate(std::string &err) const
+{
+    auto fail = [&](std::string msg) {
+        err = std::move(msg);
+        return false;
+    };
+
+    if (numProcs < 1 || numProcs > 32) {
+        return fail("procs must be between 1 and 32 (directory "
+                    "sharer vectors are 32 bits wide), got " +
+                    std::to_string(numProcs));
+    }
+
+    const SignatureConfig &sc = bulk.sigCfg;
+    if (sc.numBanks == 0)
+        return fail("sig-banks must be at least 1");
+    if (sc.totalBits == 0 || sc.totalBits % sc.numBanks != 0) {
+        return fail("sig-bits (" + std::to_string(sc.totalBits) +
+                    ") must be a positive multiple of sig-banks (" +
+                    std::to_string(sc.numBanks) + ")");
+    }
+    if (!isPowerOf2(sc.bitsPerBank())) {
+        return fail("sig-bits / sig-banks (" +
+                    std::to_string(sc.bitsPerBank()) +
+                    ") must be a power of two — each bank is indexed "
+                    "by an address-bit slice");
+    }
+
+    if (bulk.chunkSize == 0)
+        return fail("chunk must be at least 1 instruction");
+    if (bulk.minChunkSize > bulk.chunkSize) {
+        return fail("chunk (" + std::to_string(bulk.chunkSize) +
+                    ") must be at least the squash-shrink floor of " +
+                    std::to_string(bulk.minChunkSize) +
+                    " instructions");
+    }
+    if (bulk.maxLiveChunks == 0)
+        return fail("a processor needs at least one live chunk");
+
+    if (mem.numDirectories == 0)
+        return fail("dirs must be at least 1");
+    if (numArbiters == 0)
+        return fail("arbiters must be at least 1");
+    if (faultSkipArbEvery != 0 && numArbiters > 1) {
+        return fail("inject-skip-arb requires the central arbiter "
+                    "(arbiters 1), got arbiters " +
+                    std::to_string(numArbiters));
+    }
+
+    for (const CacheGeometry *g : {&mem.l1, &mem.l2}) {
+        const char *name = g == &mem.l1 ? "l1" : "l2";
+        if (g->lineBytes == 0 || g->assoc == 0 || g->sizeBytes == 0)
+            return fail(std::string(name) +
+                        " geometry must be non-zero");
+        if (g->sizeBytes %
+                (std::uint64_t{g->assoc} * g->lineBytes) !=
+            0) {
+            return fail(std::string(name) + " size (" +
+                        std::to_string(g->sizeBytes) +
+                        ") must be a multiple of assoc * line bytes");
+        }
+    }
+    if (mem.l1.lineBytes != mem.l2.lineBytes) {
+        return fail("l1 and l2 line sizes differ (" +
+                    std::to_string(mem.l1.lineBytes) + " vs " +
+                    std::to_string(mem.l2.lineBytes) +
+                    ") — coherence is line-grained");
+    }
+    return true;
+}
+
 void
 MachineConfig::resolve()
 {
@@ -82,6 +154,12 @@ MachineConfig::resolve()
       default:
         break;
     }
+    // The distributed arbiter range-partitions chunks by their exact
+    // address sets (Section 4.2.3) — Bloom bits alone cannot be
+    // classified into ranges — so it needs the mirror regardless of
+    // the stats setting. In exact mode the mirror IS the signature.
+    if (numArbiters > 1 || bulk.sigCfg.exact)
+        bulk.sigCfg.trackExact = true;
     mem.sigCfg = bulk.sigCfg;
 }
 

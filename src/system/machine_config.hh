@@ -78,6 +78,15 @@ struct MachineConfig
     unsigned faultSkipArbEvery = 0;
 
     /**
+     * Check the configuration for inconsistent geometry. On failure
+     * @p err receives an actionable message naming the offending
+     * option(s). Call before resolve().
+     *
+     * @return true iff the configuration can build a System.
+     */
+    bool validate(std::string &err) const;
+
+    /**
      * Resolve per-model knobs (bulk mode, private-data options, exact
      * signatures) into the sub-configs. Call before building a System.
      */

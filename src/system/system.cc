@@ -230,6 +230,7 @@ System::collectStats(Results &res) const
         agg.preArbRequests += b.preArbRequests;
         agg.trueConflictSquashes += b.trueConflictSquashes;
         agg.falsePositiveSquashes += b.falsePositiveSquashes;
+        agg.unattributedSquashes += b.unattributedSquashes;
         agg.arbLatency.merge(b.arbLatency);
         agg.squashRestart.merge(b.squashRestart);
         agg.squashChunkSize.merge(b.squashChunkSize);
@@ -272,6 +273,8 @@ System::collectStats(Results &res) const
            static_cast<double>(agg.trueConflictSquashes));
     sg.set("bulk.squash.false_positive",
            static_cast<double>(agg.falsePositiveSquashes));
+    sg.set("bulk.squash.unattributed",
+           static_cast<double>(agg.unattributedSquashes));
     agg.arbLatency.dumpInto(sg, "bulk.arb_latency.");
     agg.squashRestart.dumpInto(sg, "bulk.squash_restart.");
     agg.squashChunkSize.dumpInto(sg, "bulk.squash_chunk_size.");

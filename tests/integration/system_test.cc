@@ -121,6 +121,25 @@ TEST(SystemIntegration, DirectoryCacheDisplacementsHandled)
     EXPECT_GT(r.stats.get("mem.dir_displacements"), 0.0);
 }
 
+TEST(SystemIntegration, ExactMirrorIsTimingInvisible)
+{
+    // The exact mirror sets exist for statistics and verification
+    // only: switching them off must not move a single simulated cycle.
+    MachineConfig on;
+    on.bulk.sigCfg.trackExact = true;
+    MachineConfig off;
+    off.bulk.sigCfg.trackExact = false;
+    Results a = runApp(Model::BSCdypvt, "ocean", 4, &on);
+    Results b = runApp(Model::BSCdypvt, "ocean", 4, &off);
+    EXPECT_TRUE(a.completed);
+    EXPECT_TRUE(b.completed);
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_DOUBLE_EQ(a.stats.get("bulk.commits"),
+                     b.stats.get("bulk.commits"));
+    EXPECT_DOUBLE_EQ(a.stats.get("cpu.squashes"),
+                     b.stats.get("cpu.squashes"));
+}
+
 TEST(SystemIntegration, DeterministicAcrossRuns)
 {
     Results a = runApp(Model::BSCdypvt, "fft", 4);

@@ -44,6 +44,44 @@ TEST(Signature, ClearEmpties)
     EXPECT_EQ(s.exactSize(), 0u);
 }
 
+/** The exact mirror set is bookkeeping for stats and verification:
+ *  switching it off must leave every Bloom-level answer unchanged. */
+TEST(SignatureProperty, MirrorOffMatchesMirrorOn)
+{
+    SignatureConfig mirrored;
+    mirrored.trackExact = true;
+    SignatureConfig bare;
+    bare.trackExact = false;
+
+    Rng rng(21);
+    for (int trial = 0; trial < 10; ++trial) {
+        Signature am(mirrored), bm(mirrored);
+        Signature ab(bare), bb(bare);
+        for (int i = 0; i < 80; ++i) {
+            LineAddr l = rng.next() & 0xFFFFFF;
+            if (i % 3 == 0) {
+                bm.insert(l);
+                bb.insert(l);
+            } else {
+                am.insert(l);
+                ab.insert(l);
+            }
+        }
+        EXPECT_EQ(ab.intersects(bb), am.intersects(bm));
+        EXPECT_EQ(ab.empty(), am.empty());
+        EXPECT_EQ(ab.decodeBank0(), am.decodeBank0());
+        for (int i = 0; i < 50; ++i) {
+            LineAddr probe = rng.next() & 0xFFFFFF;
+            EXPECT_EQ(ab.contains(probe), am.contains(probe));
+        }
+        ab.unionWith(bb);
+        am.unionWith(bm);
+        EXPECT_EQ(ab.decodeBank0(), am.decodeBank0());
+        EXPECT_EQ(ab.tracksExact(), false);
+        EXPECT_EQ(am.tracksExact(), true);
+    }
+}
+
 /** Superset encoding: a member is NEVER reported absent. */
 TEST(SignatureProperty, NoFalseNegatives)
 {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -93,6 +95,157 @@ TEST(EventQueue, StepFiresOneEvent)
     EXPECT_TRUE(eq.step());
     EXPECT_EQ(fired, 2);
     EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, SameTickRescheduleRunsAfterTickBatch)
+{
+    // An event firing at tick T that schedules another event at T must
+    // see it run after every event already pending at T (global FIFO
+    // within the tick) — the regression the wheel's batch drain must
+    // not break.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] {
+        order.push_back(0);
+        eq.schedule(5, [&] { order.push_back(2); });
+        eq.scheduleAfter(0, [&] { order.push_back(3); });
+    });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.now(), 5u);
+    EXPECT_EQ(eq.eventsFired(), 4u);
+}
+
+TEST(EventQueue, BeyondHorizonEventsFireInOrder)
+{
+    constexpr Tick kFar = EventQueue::kHorizon;
+    EventQueue eq;
+    std::vector<Tick> at;
+    // Interleave wheel-range and far-range targets, scheduled out of
+    // order; some far ticks collide so their batches must stay FIFO.
+    for (Tick t : {4 * kFar, Tick{2}, 3 * kFar, kFar + 7, Tick{2},
+                   3 * kFar})
+        eq.schedule(t, [&, t] {
+            EXPECT_EQ(eq.now(), t);
+            at.push_back(t);
+        });
+    eq.run();
+    EXPECT_EQ(at, (std::vector<Tick>{2, 2, kFar + 7, 3 * kFar,
+                                     3 * kFar, 4 * kFar}));
+}
+
+TEST(EventQueue, FarBatchPrecedesWheelEventsAtTheSameTick)
+{
+    // An event landing at tick T from beyond the horizon was
+    // necessarily scheduled before any wheel event at T (the wheel
+    // only spans kHorizon ticks), so it must fire first.
+    constexpr Tick kT = EventQueue::kHorizon + 100;
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(kT, [&] { order.push_back(0); }); // far at schedule time
+    eq.schedule(200, [&] {
+        order.push_back(-1);
+        eq.schedule(kT, [&] { order.push_back(1); }); // now in wheel
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{-1, 0, 1}));
+}
+
+TEST(EventQueue, WheelWrapsAcrossManyLaps)
+{
+    EventQueue eq;
+    constexpr Tick kStep = EventQueue::kHorizon - 1;
+    int laps = 0;
+    std::function<void()> next = [&] {
+        EXPECT_EQ(eq.now(), static_cast<Tick>(laps) * kStep);
+        if (++laps < 10)
+            eq.scheduleAfter(kStep, next);
+    };
+    eq.schedule(0, next);
+    eq.run();
+    EXPECT_EQ(laps, 10);
+    EXPECT_EQ(eq.now(), 9 * kStep);
+}
+
+TEST(EventQueue, StepAndRunInterleave)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 0; i < 3; ++i)
+        eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(EventQueue::kHorizon + 50, [&] { ++fired; });
+
+    EXPECT_TRUE(eq.step()); // pulls the tick-10 batch, fires one
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 10u);
+    eq.run(15); // drains the rest of the batch, stops before 20
+    EXPECT_EQ(fired, 3);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, SizeCountsWheelFarAndCurrentBatch)
+{
+    EventQueue eq;
+    eq.schedule(5, [] {});
+    eq.schedule(5, [] {});
+    eq.schedule(40, [] {});
+    eq.schedule(EventQueue::kHorizon + 5, [] {});
+    EXPECT_EQ(eq.size(), 4u);
+    EXPECT_FALSE(eq.empty());
+    EXPECT_TRUE(eq.step()); // one of the tick-5 pair fired
+    EXPECT_EQ(eq.size(), 3u);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, NextEventTickTracksAllRegions)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextEventTick(), kTickNever);
+    eq.schedule(EventQueue::kHorizon + 9, [] {});
+    EXPECT_EQ(eq.nextEventTick(), EventQueue::kHorizon + 9);
+    eq.schedule(7, [] {});
+    EXPECT_EQ(eq.nextEventTick(), 7u);
+    eq.schedule(7, [] {});
+    EXPECT_TRUE(eq.step()); // mid-batch: next event is still at now()
+    EXPECT_EQ(eq.nextEventTick(), 7u);
+    eq.run();
+    EXPECT_EQ(eq.nextEventTick(), kTickNever);
+}
+
+TEST(EventQueue, PendingEventsAreDestroyedWithTheQueue)
+{
+    auto token = std::make_shared<int>(7);
+    {
+        EventQueue eq;
+        eq.schedule(10, [token] {});
+        eq.schedule(EventQueue::kHorizon + 10, [token] {});
+        EXPECT_EQ(token.use_count(), 3);
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, OversizedCapturesWork)
+{
+    // Captures beyond the inline budget of the event representation
+    // fall back to a heap cell; behaviour must be identical.
+    struct Big
+    {
+        char pad[200];
+    } big{};
+    big.pad[0] = 42;
+    EventQueue eq;
+    int seen = 0;
+    eq.schedule(3, [big, &seen] { seen = big.pad[0]; });
+    eq.run();
+    EXPECT_EQ(seen, 42);
 }
 
 TEST(EventQueueDeath, SchedulingInThePastPanics)

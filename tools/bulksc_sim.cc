@@ -4,52 +4,19 @@
  * with configurable machine parameters and dump the full statistics.
  *
  *   bulksc_sim [options]
- *     --model NAME      SC | RC | SC++ | BSCbase | BSCdypvt |
- *                       BSCstpvt | BSCexact        (default BSCdypvt)
- *     --app NAME        one of the 13 workload profiles, or "list"
- *                       (default ocean)
- *     --litmus NAME     run a litmus test instead of a profile:
- *                       sb | mp | iriw | corr | 2+2w (procs comes
- *                       from the test; --seed-salt picks the timing
- *                       variant; the SC outcome predicate is checked
- *                       and a forbidden outcome exits 3)
- *     --procs N         processor count               (default 8)
- *     --instrs N        instructions per processor    (default 100000)
- *     --chunk N         chunk size in instructions    (default 1000)
- *     --sig-bits N      signature size in bits        (default 2048)
- *     --sig-banks N     signature banks               (default 4)
- *     --arbiters N      arbiter modules (1 = central) (default 1)
- *     --dirs N          directory modules             (default 1)
- *     --dir-cache N     directory-cache entries (0 = full map)
- *     --no-rsig         disable the RSig optimization
- *     --no-warm         skip functional cache warming
- *     --contention      model destination-link contention
- *     --seed-salt N     vary the generated traces
- *     --check LIST      correctness checkers to run, comma-separated
- *                       (also accepted as --check=LIST):
- *                         axiomatic  SC as acyclicity of po∪rf∪co∪fr
- *                                    over committed chunks (any
- *                                    workload)
- *                         race       happens-before data races via
- *                                    vector clocks (any workload)
- *                         replay     serial-replay value check
- *                                    (forces value tracking)
- *                       exit code 3 on an SC violation, 4 on races
- *     --verify          alias for --check replay (kept for
- *                       compatibility)
- *     --inject-skip-arb N
- *                       fault injection: the arbiter grants every Nth
- *                       colliding commit request (negative testing;
- *                       the axiomatic checker must report a cycle)
- *     --save-traces F   write the generated trace bundle to F
- *     --load-traces F   replay a saved trace bundle instead
- *     --stats           dump every statistic (default: summary)
- *     --json            dump every statistic as a JSON object
- *     --trace-out F     record chunk-lifecycle events and export them
- *                       as Chrome trace_event JSON to F (open in
- *                       chrome://tracing or ui.perfetto.dev)
- *     --trace-cats L    event categories to record (comma-separated:
- *                       chunk,commit,squash,coherence,all; default all)
+ *
+ * Every flag comes from the shared option registry (--help lists
+ * them); the same names are the keys of --config JSON files and
+ * bulksc_batch sweep axes. Highlights:
+ *
+ *   --config FILE     load options from a JSON config file (explicit
+ *                     flags override the file, wherever they appear)
+ *   --dump-config     print the effective configuration as JSON and
+ *                     exit — the output round-trips through --config
+ *   --check LIST      correctness checkers (axiomatic, race, replay);
+ *                     exit code 3 on an SC violation, 4 on races
+ *   --trace-out F     chunk-lifecycle events as Chrome trace_event
+ *                     JSON (chrome://tracing or ui.perfetto.dev)
  *
  * The BULKSC_TRACE environment variable independently enables the
  * textual debug log on stderr (same category names, e.g.
@@ -57,12 +24,12 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
 #include "sim/event_trace.hh"
 #include "sim/trace_log.hh"
+#include "system/sim_options.hh"
 #include "system/system.hh"
 #include "workload/app_profiles.hh"
 #include "workload/generator.hh"
@@ -73,96 +40,35 @@ using namespace bulksc;
 
 namespace {
 
-void
+[[noreturn]] void
 usage(const char *argv0)
 {
+    std::fprintf(stderr, "usage: %s [options]\n", argv0);
+    OptionRegistry::instance().printUsage(stderr, OptionGroup::Sim);
     std::fprintf(stderr,
-                 "usage: %s [--model M] [--app A] [--litmus T] "
-                 "[--procs N] [--instrs N]\n"
-                 "          [--chunk N] [--sig-bits N] [--sig-banks N]"
-                 "\n"
-                 "          [--arbiters N] [--dirs N] [--dir-cache N]"
-                 "\n"
-                 "          [--no-rsig] [--no-warm] [--contention] "
-                 "[--seed-salt N]\n"
-                 "          [--check axiomatic,race,replay] "
-                 "[--inject-skip-arb N]\n"
-                 "          [--verify] [--save-traces F] "
-                 "[--load-traces F]\n"
-                 "          [--stats] [--json] [--trace-out F] "
-                 "[--trace-cats L]\n"
                  "(BULKSC_TRACE=cat,... additionally enables the "
-                 "textual debug log)\n",
-                 argv0);
+                 "textual debug log)\n");
     std::exit(1);
 }
 
-std::uint64_t
-numArg(int argc, char **argv, int &i)
-{
-    if (i + 1 >= argc)
-        usage(argv[0]);
-    return std::strtoull(argv[++i], nullptr, 10);
-}
-
-struct CheckSet
-{
-    bool axiomatic = false;
-    bool race = false;
-    bool replay = false;
-
-    bool any() const { return axiomatic || race || replay; }
-};
-
-void
-parseChecks(const std::string &spec, CheckSet &checks,
-            const char *argv0)
-{
-    std::size_t pos = 0;
-    while (pos <= spec.size()) {
-        std::size_t comma = spec.find(',', pos);
-        if (comma == std::string::npos)
-            comma = spec.size();
-        std::string name = spec.substr(pos, comma - pos);
-        pos = comma + 1;
-        if (name.empty())
-            continue;
-        if (name == "axiomatic") {
-            checks.axiomatic = true;
-        } else if (name == "race") {
-            checks.race = true;
-        } else if (name == "replay") {
-            checks.replay = true;
-        } else {
-            std::fprintf(stderr,
-                         "unknown checker '%s' (known: axiomatic,"
-                         "race,replay)\n",
-                         name.c_str());
-            usage(argv0);
-        }
-    }
-}
-
-LitmusTest
+bool
 litmusByName(const std::string &name, unsigned variant,
-             const char *argv0)
+             LitmusTest &out)
 {
-    if (name == "sb")
-        return makeStoreBuffering(variant);
-    if (name == "mp")
-        return makeMessagePassing(variant);
-    if (name == "iriw")
-        return makeIriw(variant);
-    if (name == "corr")
-        return makeCoRR(variant);
-    if (name == "2+2w")
-        return make2Plus2W(variant);
-    std::fprintf(stderr,
-                 "unknown litmus test '%s' (known: sb, mp, iriw, "
-                 "corr, 2+2w)\n",
-                 name.c_str());
-    usage(argv0);
-    return {}; // unreachable
+    if (name == "sb") {
+        out = makeStoreBuffering(variant);
+    } else if (name == "mp") {
+        out = makeMessagePassing(variant);
+    } else if (name == "iriw") {
+        out = makeIriw(variant);
+    } else if (name == "corr") {
+        out = makeCoRR(variant);
+    } else if (name == "2+2w") {
+        out = make2Plus2W(variant);
+    } else {
+        return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -172,140 +78,81 @@ main(int argc, char **argv)
 {
     setQuiet(true);
 
-    std::string model_name = "BSCdypvt";
-    std::string app_name = "ocean";
-    std::string litmus_name;
-    unsigned procs = 8;
-    std::uint64_t instrs = 100'000;
-    std::uint64_t seed_salt = 0;
-    bool dump_all = false;
-    bool json_out = false;
-    CheckSet checks;
-    std::string save_path, load_path;
-    std::string trace_out;
-    std::string trace_cats = "all";
-    MachineConfig cfg;
-
     for (int i = 1; i < argc; ++i) {
-        const char *a = argv[i];
-        if (!std::strcmp(a, "--model")) {
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            model_name = argv[++i];
-        } else if (!std::strcmp(a, "--app")) {
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            app_name = argv[++i];
-        } else if (!std::strcmp(a, "--procs")) {
-            procs = static_cast<unsigned>(numArg(argc, argv, i));
-        } else if (!std::strcmp(a, "--instrs")) {
-            instrs = numArg(argc, argv, i);
-        } else if (!std::strcmp(a, "--chunk")) {
-            cfg.bulk.chunkSize =
-                static_cast<unsigned>(numArg(argc, argv, i));
-        } else if (!std::strcmp(a, "--sig-bits")) {
-            cfg.bulk.sigCfg.totalBits =
-                static_cast<unsigned>(numArg(argc, argv, i));
-        } else if (!std::strcmp(a, "--sig-banks")) {
-            cfg.bulk.sigCfg.numBanks =
-                static_cast<unsigned>(numArg(argc, argv, i));
-        } else if (!std::strcmp(a, "--arbiters")) {
-            cfg.numArbiters =
-                static_cast<unsigned>(numArg(argc, argv, i));
-        } else if (!std::strcmp(a, "--dirs")) {
-            cfg.mem.numDirectories =
-                static_cast<unsigned>(numArg(argc, argv, i));
-        } else if (!std::strcmp(a, "--dir-cache")) {
-            cfg.mem.dirCacheEntries = numArg(argc, argv, i);
-        } else if (!std::strcmp(a, "--no-rsig")) {
-            cfg.bulk.rsigOpt = false;
-        } else if (!std::strcmp(a, "--no-warm")) {
-            cfg.warmCaches = false;
-        } else if (!std::strcmp(a, "--contention")) {
-            cfg.net.modelContention = true;
-        } else if (!std::strcmp(a, "--seed-salt")) {
-            seed_salt = numArg(argc, argv, i);
-        } else if (!std::strcmp(a, "--stats")) {
-            dump_all = true;
-        } else if (!std::strcmp(a, "--json")) {
-            json_out = true;
-        } else if (!std::strcmp(a, "--litmus")) {
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            litmus_name = argv[++i];
-        } else if (!std::strcmp(a, "--verify")) {
-            checks.replay = true;
-        } else if (!std::strcmp(a, "--check")) {
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            parseChecks(argv[++i], checks, argv[0]);
-        } else if (!std::strncmp(a, "--check=", 8)) {
-            parseChecks(a + 8, checks, argv[0]);
-        } else if (!std::strcmp(a, "--inject-skip-arb")) {
-            cfg.faultSkipArbEvery =
-                static_cast<unsigned>(numArg(argc, argv, i));
-        } else if (!std::strcmp(a, "--save-traces")) {
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            save_path = argv[++i];
-        } else if (!std::strcmp(a, "--load-traces")) {
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            load_path = argv[++i];
-        } else if (!std::strcmp(a, "--trace-out")) {
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            trace_out = argv[++i];
-        } else if (!std::strcmp(a, "--trace-cats")) {
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            trace_cats = argv[++i];
-        } else {
+        if (!std::strcmp(argv[i], "--help") ||
+            !std::strcmp(argv[i], "-h")) {
             usage(argv[0]);
         }
     }
 
-    if (app_name == "list") {
+    SimOptions opts;
+    const OptionRegistry &reg = OptionRegistry::instance();
+    std::string err;
+    if (!reg.parse(argc - 1, argv + 1, opts, OptionGroup::Sim, err)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        usage(argv[0]);
+    }
+
+    if (opts.app == "list") {
         for (const AppProfile &p : allProfiles())
             std::printf("%s\n", p.name.c_str());
         return 0;
     }
 
-    cfg.model = modelByName(model_name);
-    cfg.numProcs = procs;
-    AppProfile app = profileByName(app_name);
-    if (checks.replay)
+    if (!opts.cfg.validate(err)) {
+        std::fprintf(stderr, "%s: invalid configuration: %s\n",
+                     argv[0], err.c_str());
+        return 1;
+    }
+
+    if (opts.dumpConfig) {
+        reg.dumpConfigJson(stdout, opts);
+        return 0;
+    }
+
+    MachineConfig &cfg = opts.cfg;
+    AppProfile app = profileByName(opts.app);
+    if (opts.checks.replay)
         app.trackAllValues = true; // replay compares observed values
 
     std::vector<Trace> traces;
     LitmusTest litmus;
-    if (!litmus_name.empty()) {
-        litmus = litmusByName(
-            litmus_name, static_cast<unsigned>(seed_salt), argv[0]);
+    if (!opts.litmus.empty()) {
+        if (!litmusByName(opts.litmus,
+                          static_cast<unsigned>(opts.seedSalt),
+                          litmus)) {
+            std::fprintf(stderr,
+                         "unknown litmus test '%s' (known: sb, mp, "
+                         "iriw, corr, 2+2w)\n",
+                         opts.litmus.c_str());
+            usage(argv[0]);
+        }
         traces = litmus.traces;
-        procs = static_cast<unsigned>(traces.size());
-        cfg.numProcs = procs;
-        app.name = "litmus-" + litmus_name;
-    } else if (!load_path.empty()) {
-        traces = loadTraces(load_path);
+        cfg.numProcs = static_cast<unsigned>(traces.size());
+        app.name = "litmus-" + opts.litmus;
+    } else if (!opts.loadTraces.empty()) {
+        traces = loadTraces(opts.loadTraces);
         if (traces.empty())
             return 1;
     } else {
-        traces = generateTraces(app, procs, instrs, seed_salt);
+        traces = generateTraces(app, cfg.numProcs, opts.instrs,
+                                opts.seedSalt);
     }
-    if (!save_path.empty() && !saveTraces(save_path, traces))
+    if (!opts.saveTraces.empty() &&
+        !saveTraces(opts.saveTraces, traces)) {
         return 1;
+    }
 
-    if (!trace_out.empty()) {
+    if (!opts.traceOut.empty()) {
         EventTrace::instance().enable(
-            parseTraceCategories(trace_cats));
+            parseTraceCategories(opts.traceCats));
     }
 
     System sys(cfg, std::move(traces));
-    if (checks.replay)
+    if (opts.checks.replay)
         sys.enableScVerification();
-    if (checks.axiomatic || checks.race)
-        sys.enableAnalysis(checks.axiomatic, checks.race);
+    if (opts.checks.axiomatic || opts.checks.race)
+        sys.enableAnalysis(opts.checks.axiomatic, opts.checks.race);
     Results res = sys.run();
 
     const AnalysisEngine *eng = sys.analysis();
@@ -321,26 +168,26 @@ main(int argc, char **argv)
              : res.completed ? 0
                              : 2;
 
-    if (!trace_out.empty()) {
+    if (!opts.traceOut.empty()) {
         const EventTrace &et = EventTrace::instance();
-        if (!et.exportChromeTrace(trace_out)) {
+        if (!et.exportChromeTrace(opts.traceOut)) {
             std::fprintf(stderr, "error: cannot write trace to %s\n",
-                         trace_out.c_str());
+                         opts.traceOut.c_str());
             return 1;
         }
-        if (!json_out) {
+        if (!opts.jsonOut) {
             std::printf("trace: %llu events (%llu dropped) -> %s\n",
                         static_cast<unsigned long long>(et.recorded()),
                         static_cast<unsigned long long>(et.dropped()),
-                        trace_out.c_str());
+                        opts.traceOut.c_str());
         }
     }
 
-    if (json_out) {
+    if (opts.jsonOut) {
         std::printf("{\n  \"model\": \"%s\",\n  \"app\": \"%s\","
                     "\n  \"procs\": %u,\n  \"completed\": %s",
                     modelName(cfg.model),
-                    jsonEscape(app.name).c_str(), procs,
+                    jsonEscape(app.name).c_str(), cfg.numProcs,
                     res.completed ? "true" : "false");
         if (litmus.allowedSC) {
             std::printf(",\n  \"litmus_sc_ok\": %s",
@@ -405,8 +252,8 @@ main(int argc, char **argv)
     }
 
     std::printf("model=%s app=%s procs=%u instrs/proc=%llu\n",
-                modelName(cfg.model), app.name.c_str(), procs,
-                static_cast<unsigned long long>(instrs));
+                modelName(cfg.model), app.name.c_str(), cfg.numProcs,
+                static_cast<unsigned long long>(opts.instrs));
     std::printf("completed=%s exec_time=%llu cycles\n",
                 res.completed ? "yes" : "NO",
                 static_cast<unsigned long long>(res.execTime));
@@ -454,7 +301,7 @@ main(int argc, char **argv)
     if (sc_fail || races_found)
         return rc;
 
-    if (dump_all) {
+    if (opts.dumpAll) {
         std::ostringstream os;
         res.stats.dump(os);
         std::fputs(os.str().c_str(), stdout);
