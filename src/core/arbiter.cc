@@ -7,11 +7,10 @@
 namespace bulksc {
 
 Arbiter::Arbiter(EventQueue &eq, Network &n, NodeId node_,
-                 Tick processing_, bool rsig_opt, unsigned max_commits,
-                 unsigned fault_skip_every)
+                 Tick processing_, bool rsig_opt, unsigned max_commits)
     : SimObject(eq, "arbiter"), net(n), node(node_),
       processing(processing_), rsigOpt(rsig_opt),
-      maxCommits(max_commits), faultSkipEvery(fault_skip_every)
+      maxCommits(max_commits)
 {}
 
 void
@@ -37,7 +36,57 @@ Arbiter::collides(const Signature &s) const
 }
 
 void
-Arbiter::requestCommit(ProcId p, std::shared_ptr<Signature> w,
+Arbiter::concludeAndReply(ProcId p, bool ok,
+                          const std::function<void(bool)> &reply)
+{
+    TxnRecord &rec = txns[p];
+    rec.decided = true;
+    rec.ok = ok;
+
+    if (faults &&
+        faults->dropMessage(FaultKind::ArbGrantLoss, curTick(),
+                            static_cast<int>(TrafficClass::Other))) {
+        ++stats_.lostReplies;
+        EVENT_TRACE(TraceEventType::FaultInject, curTick(),
+                    trackArb(0), rec.txn,
+                    static_cast<std::uint64_t>(
+                        FaultKind::ArbGrantLoss));
+        // The bits still travel; the message just never arrives.
+        net.send(node, p, TrafficClass::Other, 8, [] {});
+    } else {
+        net.send(node, p, TrafficClass::Other, 8,
+                 [reply, ok] { reply(ok); });
+    }
+    if (faults &&
+        faults->duplicateMessage(
+            curTick(), static_cast<int>(TrafficClass::Other))) {
+        net.send(node, p, TrafficClass::Other, 8,
+                 [reply, ok] { reply(ok); });
+    }
+}
+
+bool
+Arbiter::dedupRequest(ProcId p, std::uint64_t txn,
+                      const std::function<void(bool)> &reply)
+{
+    auto it = txns.find(p);
+    if (it != txns.end() && it->second.txn == txn) {
+        ++stats_.dupRequests;
+        // Duplicate of a decided transaction: answer from the cache
+        // (never decide twice — a granted W is already in the list and
+        // would collide with itself). Still deciding: swallow; the
+        // in-flight decision's reply is on its way.
+        if (it->second.decided)
+            concludeAndReply(p, it->second.ok, reply);
+        return true;
+    }
+    txns[p] = TxnRecord{txn, false, false};
+    return false;
+}
+
+void
+Arbiter::requestCommit(ProcId p, std::uint64_t txn,
+                       std::shared_ptr<Signature> w,
                        RProvider r_provider,
                        std::function<void(bool)> reply)
 {
@@ -49,8 +98,21 @@ Arbiter::requestCommit(ProcId p, std::shared_ptr<Signature> w,
         net.send(p, node, TrafficClass::RdSig,
                  upfront_r ? upfront_r->compressedBits() : 16, [] {});
     }
-    net.send(p, node, TrafficClass::WrSig, bits,
-             [this, p, w, upfront_r, r_provider, reply] {
+
+    if (faults &&
+        faults->dropMessage(FaultKind::ArbReqLoss, curTick(),
+                            static_cast<int>(TrafficClass::WrSig))) {
+        ++stats_.lostRequests;
+        EVENT_TRACE(TraceEventType::FaultInject, curTick(),
+                    trackArb(0), txn,
+                    static_cast<std::uint64_t>(FaultKind::ArbReqLoss));
+        net.send(p, node, TrafficClass::WrSig, bits, [] {});
+        return;
+    }
+
+    auto deliver = [this, p, txn, w, upfront_r, r_provider, reply] {
+        if (dedupRequest(p, txn, reply))
+            return;
         ++stats_.requests;
 
         // Pre-arbitration: reject everyone but the owner.
@@ -59,8 +121,7 @@ Arbiter::requestCommit(ProcId p, std::shared_ptr<Signature> w,
             EVENT_TRACE(TraceEventType::ArbDecision, curTick(),
                         trackArb(0), 0, wList.size(), 0);
             eventq.scheduleAfter(processing, [this, p, reply] {
-                net.send(node, p, TrafficClass::Other, 8,
-                         [reply] { reply(false); });
+                concludeAndReply(p, false, reply);
             });
             return;
         }
@@ -68,7 +129,14 @@ Arbiter::requestCommit(ProcId p, std::shared_ptr<Signature> w,
             preArbOwner = ~ProcId{0};
 
         decide(p, w, upfront_r, r_provider, std::move(reply));
-    });
+    };
+
+    net.send(p, node, TrafficClass::WrSig, bits, deliver);
+    if (faults &&
+        faults->duplicateMessage(
+            curTick(), static_cast<int>(TrafficClass::WrSig))) {
+        net.send(p, node, TrafficClass::WrSig, bits, deliver);
+    }
 }
 
 void
@@ -103,8 +171,7 @@ Arbiter::decide(ProcId p, const std::shared_ptr<Signature> &w,
                 ++stats_.denials;
             }
             tryActivatePreArb();
-            net.send(node, p, TrafficClass::Other, 8,
-                     [reply, ok] { reply(ok); });
+            concludeAndReply(p, ok, reply);
         };
 
         if (wList.empty()) {
@@ -123,8 +190,7 @@ Arbiter::decide(ProcId p, const std::shared_ptr<Signature> &w,
                     EVENT_TRACE(TraceEventType::ArbDecision, curTick(),
                                 trackArb(0), 0, wList.size(), 0);
                     tryActivatePreArb();
-                    net.send(node, p, TrafficClass::Other, 8,
-                             [reply] { reply(false); });
+                    concludeAndReply(p, false, reply);
                     return;
                 }
                 net.send(p, node, TrafficClass::RdSig,
@@ -140,9 +206,8 @@ Arbiter::decide(ProcId p, const std::shared_ptr<Signature> &w,
         // Fault injection (negative testing): let every Nth colliding
         // request through, breaking the disambiguation the checkers
         // are supposed to catch. The capacity limit still applies.
-        if (!ok && faultSkipEvery && wList.size() < maxCommits &&
-            ++faultCounter >= faultSkipEvery) {
-            faultCounter = 0;
+        if (!ok && faults && wList.size() < maxCommits &&
+            faults->skipCollision()) {
             ++stats_.faultInjectedGrants;
             TRACE_LOG(TraceCat::Commit, curTick(),
                       "arbiter: FAULT-INJECTED grant for proc ", p);

@@ -31,6 +31,7 @@
 #include "network/network.hh"
 #include "signature/signature.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault_plane.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -50,6 +51,16 @@ struct ArbiterStats
     /** Colliding requests granted anyway by the fault-injection knob
      *  (negative testing of the SC checkers; 0 in normal operation). */
     std::uint64_t faultInjectedGrants = 0;
+
+    /** Duplicate or retransmitted requests absorbed by the dedup
+     *  cache (decided ones get their cached decision re-sent). */
+    std::uint64_t dupRequests = 0;
+
+    /** Requests lost to fault injection before reaching the arbiter. */
+    std::uint64_t lostRequests = 0;
+
+    /** Decision replies lost to fault injection. */
+    std::uint64_t lostReplies = 0;
 
     /** Time integral of the W-list size (for avg pending W sigs). */
     double pendingIntegral = 0.0;
@@ -88,11 +99,19 @@ class ArbiterIface
      * Request permission to commit.
      *
      * @param p Requesting processor.
+     * @param txn Per-processor transaction number. Retransmissions of
+     *        the same request reuse the number so the arbiter can
+     *        deduplicate them idempotently: a duplicate of a decided
+     *        transaction re-sends the cached decision instead of
+     *        deciding twice.
      * @param w The chunk's W signature (kept by the arbiter on grant).
      * @param r_provider Called if the R signature is needed.
-     * @param reply Receives the decision at the processor.
+     * @param reply Receives the decision at the processor (may be
+     *        invoked more than once under reply duplication; callers
+     *        must ignore repeats).
      */
-    virtual void requestCommit(ProcId p, std::shared_ptr<Signature> w,
+    virtual void requestCommit(ProcId p, std::uint64_t txn,
+                               std::shared_ptr<Signature> w,
                                RProvider r_provider,
                                std::function<void(bool)> reply) = 0;
 
@@ -116,17 +135,21 @@ class Arbiter : public SimObject, public ArbiterIface
      *        commit arbitration latency minus the network hops).
      * @param rsig_opt Enable the RSig bandwidth optimization.
      * @param max_commits Maximum simultaneously-committing chunks.
-     * @param fault_skip_every Fault injection for negative testing:
-     *        grant every Nth request that *should* be denied for a
-     *        signature collision, deliberately breaking chunk
-     *        disambiguation (0 = off). The analysis subsystem must
-     *        catch the resulting SC violations.
      */
     Arbiter(EventQueue &eq, Network &net, NodeId node, Tick processing,
-            bool rsig_opt, unsigned max_commits = 8,
-            unsigned fault_skip_every = 0);
+            bool rsig_opt, unsigned max_commits = 8);
 
-    void requestCommit(ProcId p, std::shared_ptr<Signature> w,
+    /**
+     * Attach the fault plane. Request/reply loss and duplication
+     * (arb.req_loss, arb.grant_loss, net.drop, net.dup) are injected
+     * here; arb.skip_collision grants every Nth colliding request,
+     * deliberately breaking chunk disambiguation so the analysis
+     * subsystem has SC violations to catch.
+     */
+    void setFaultPlane(FaultPlane *fp) { faults = fp; }
+
+    void requestCommit(ProcId p, std::uint64_t txn,
+                       std::shared_ptr<Signature> w,
                        RProvider r_provider,
                        std::function<void(bool)> reply) override;
 
@@ -150,13 +173,37 @@ class Arbiter : public SimObject, public ArbiterIface
 
     void tryActivatePreArb();
 
+    /**
+     * Record the decision for the processor's current transaction and
+     * send the reply (subject to grant-loss / duplication injection).
+     */
+    void concludeAndReply(ProcId p, bool ok,
+                          const std::function<void(bool)> &reply);
+
+    /**
+     * Idempotence filter at request delivery. @return true iff the
+     * message is a duplicate and was fully handled here (either
+     * swallowed while the decision is still in flight, or answered
+     * from the decision cache).
+     */
+    bool dedupRequest(ProcId p, std::uint64_t txn,
+                      const std::function<void(bool)> &reply);
+
     Network &net;
     NodeId node;
     Tick processing;
     bool rsigOpt;
     unsigned maxCommits;
-    unsigned faultSkipEvery;
-    unsigned faultCounter = 0;
+    FaultPlane *faults = nullptr;
+
+    /** Decision cache: the latest transaction seen per processor. */
+    struct TxnRecord
+    {
+        std::uint64_t txn = ~std::uint64_t{0};
+        bool decided = false;
+        bool ok = false;
+    };
+    std::unordered_map<ProcId, TxnRecord> txns;
 
     std::vector<std::shared_ptr<Signature>> wList;
 

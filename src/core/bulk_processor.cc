@@ -1,6 +1,9 @@
 #include "core/bulk_processor.hh"
 
+#include <sstream>
+
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 #include "sim/trace_log.hh"
 
 namespace bulksc {
@@ -459,29 +462,114 @@ BulkProcessor::maybeArbitrate()
         return c ? std::make_shared<Signature>(c->r) : nullptr;
     };
 
-    arb.requestCommit(pid, w, std::move(r_provider),
-                      [this, seq, w](bool granted) {
-        EVENT_TRACE(granted ? TraceEventType::ArbGrant
-                            : TraceEventType::ArbDeny,
-                    curTick(), trackProc(pid), seq);
-        Chunk *c = findChunk(seq);
-        if (!c) {
-            // The chunk was squashed while its request was in flight.
-            if (granted) {
-                ++bstats.abortedGrants;
-                arb.commitDone(w);
-            }
-            return;
-        }
-        if (!granted) {
-            ++bstats.deniedCommits;
-            c->arbitrating = false;
-            eventq.scheduleAfter(bprm.commitRetryDelay,
-                                 [this] { maybeArbitrate(); });
-            return;
-        }
-        onGranted(seq, w);
+    auto att = std::make_shared<ArbAttempt>();
+    att->txn = ++nextArbTxn;
+    att->seq = seq;
+    att->w = std::move(w);
+    att->rp = std::move(r_provider);
+    arbAttempts.emplace(att->txn, att);
+    sendArbAttempt(att);
+}
+
+Tick
+BulkProcessor::resendDelay(std::uint64_t txn, unsigned attempts) const
+{
+    // Exponential backoff, capped, with deterministic +/-25% jitter so
+    // retransmission storms from several starved processors decohere
+    // without perturbing reproducibility.
+    unsigned shift = attempts < 16 ? attempts - 1 : 15;
+    Tick base = bprm.resendTimeout << shift;
+    if (base > bprm.resendTimeoutCap)
+        base = bprm.resendTimeoutCap;
+    Tick jitter_span = base / 2;
+    if (jitter_span == 0)
+        return base;
+    std::uint64_t u = mix64((static_cast<std::uint64_t>(pid) << 48) ^
+                            (txn << 8) ^ attempts);
+    return base - jitter_span / 2 + (u % jitter_span);
+}
+
+void
+BulkProcessor::sendArbAttempt(const std::shared_ptr<ArbAttempt> &att)
+{
+    ++att->attempts;
+    if (att->attempts > 1) {
+        ++bstats.resends;
+        EVENT_TRACE(TraceEventType::Resend, curTick(), trackProc(pid),
+                    att->seq, att->attempts - 1);
+        TRACE_LOG(TraceCat::Fault, curTick(), name(), ": resend #",
+                  att->attempts - 1, " of commit request txn ",
+                  att->txn, " (chunk ", att->seq, ")");
+    }
+
+    arb.requestCommit(pid, att->txn, att->w, att->rp,
+                      [this, att](bool granted) {
+        onArbReply(att, granted);
     });
+
+    if (!bprm.harden)
+        return;
+
+    // Arm the timeout for this attempt. A reply (to any attempt of
+    // this transaction) disarms it by flipping att->replied.
+    eventq.scheduleAfter(
+        resendDelay(att->txn, att->attempts),
+        [this, att, sent = att->attempts] {
+            if (att->replied || att->attempts != sent)
+                return;
+            if (att->attempts > bprm.maxResend) {
+                // Give up: the request (or every reply) keeps
+                // vanishing. The processor stalls here and the
+                // watchdog turns the stall into a deadlock report.
+                ++bstats.resendGiveUps;
+                arbAttempts.erase(att->txn);
+                TRACE_LOG(TraceCat::Fault, curTick(), name(),
+                          ": giving up on commit request txn ",
+                          att->txn, " after ", att->attempts,
+                          " attempts");
+                return;
+            }
+            sendArbAttempt(att);
+        });
+}
+
+void
+BulkProcessor::onArbReply(const std::shared_ptr<ArbAttempt> &att,
+                          bool granted)
+{
+    // Replies can be duplicated by the fault plane (or arrive once
+    // per retransmission of a decided transaction): only the first
+    // one acts.
+    if (att->replied)
+        return;
+    att->replied = true;
+    arbAttempts.erase(att->txn);
+    if (bprm.harden)
+        bstats.resendAttempts.sample(
+            static_cast<double>(att->attempts));
+
+    std::uint64_t seq = att->seq;
+    std::shared_ptr<Signature> w = att->w;
+    EVENT_TRACE(granted ? TraceEventType::ArbGrant
+                        : TraceEventType::ArbDeny,
+                curTick(), trackProc(pid), seq);
+    Chunk *c = findChunk(seq);
+    if (!c) {
+        // The chunk was squashed while its request was in flight.
+        if (granted) {
+            ++bstats.abortedGrants;
+            arb.commitDone(w);
+        }
+        return;
+    }
+    if (!granted) {
+        ++bstats.deniedCommits;
+        c->arbitrating = false;
+        eventq.scheduleAfter(bprm.commitRetryDelay,
+                             [this] { maybeArbitrate(); });
+        return;
+    }
+    onGranted(seq, w);
 }
 
 void
@@ -504,6 +592,7 @@ BulkProcessor::onGranted(std::uint64_t seq, std::shared_ptr<Signature> w)
         analysis->chunkCommitted(curTick(), pid, seq, c->accessLog);
 
     ++bstats.commits;
+    lastCommit = curTick();
     if (w->empty())
         ++bstats.emptyWCommits;
     nRetired += c->execInstrs;
@@ -563,6 +652,63 @@ BulkProcessor::onGranted(std::uint64_t seq, std::shared_ptr<Signature> w)
                        &bstats.invalNodes, &w_lines);
     }
     advance();
+}
+
+void
+BulkProcessor::rescueBoost()
+{
+    if (finished() || preArbPending)
+        return;
+    EVENT_TRACE(TraceEventType::WatchdogRescue, curTick(),
+                trackProc(pid), chunks.empty() ? 0 : chunks.front()->seq,
+                bprm.minChunkSize);
+    TRACE_LOG(TraceCat::Watchdog, curTick(), name(),
+              ": rescue boost — clamping chunks to ", bprm.minChunkSize,
+              " instrs and pre-arbitrating");
+    nextChunkTarget = bprm.minChunkSize;
+    for (auto &c : chunks) {
+        if (c->endReached)
+            continue;
+        unsigned clamp = c->execInstrs > bprm.minChunkSize
+                             ? c->execInstrs
+                             : bprm.minChunkSize;
+        if (c->targetSize > clamp)
+            c->targetSize = clamp;
+    }
+    preArbPending = true;
+    preArbWaiting = true;
+    ++bstats.preArbRequests;
+    arb.preArbitrate(pid, [this] {
+        preArbWaiting = false;
+        advance();
+        maybeArbitrate();
+    });
+    // Chunks that already crossed the clamped target end on the next
+    // charge; one that crossed it while stalled needs a nudge now.
+    advance();
+}
+
+std::string
+BulkProcessor::chunkStateDump() const
+{
+    std::ostringstream os;
+    os << name() << ": pos=" << pos << " retired=" << nRetired
+       << " squashes=" << nSquashes
+       << " consecutive=" << consecutiveSquashes
+       << " lastCommit=" << lastCommit
+       << " nextTarget=" << nextChunkTarget
+       << " inflightTxns=" << arbAttempts.size()
+       << (finished() ? " FINISHED" : "") << "\n";
+    for (const auto &c : chunks) {
+        os << "  chunk seq=" << c->seq << " instrs=" << c->execInstrs
+           << "/" << c->targetSize << " |W|=" << c->wLines.size()
+           << " endReached=" << (c->endReached ? 1 : 0)
+           << " arbitrating=" << (c->arbitrating ? 1 : 0)
+           << " inflightLoads=" << c->inflightLoads
+           << " pendingStores=" << c->outstandingStoreLines.size()
+           << "\n";
+    }
+    return os.str();
 }
 
 void

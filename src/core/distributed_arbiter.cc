@@ -76,10 +76,40 @@ DistributedArbiter::touchStats()
 }
 
 void
+DistributedArbiter::sendReply(ProcId p, bool ok,
+                              const std::function<void(bool)> &reply,
+                              NodeId from)
+{
+    if (faults &&
+        faults->dropMessage(FaultKind::ArbGrantLoss, curTick(),
+                            static_cast<int>(TrafficClass::Other))) {
+        ++stats_.lostReplies;
+        EVENT_TRACE(TraceEventType::FaultInject, curTick(),
+                    trackArb(static_cast<unsigned>(from - firstNode)),
+                    0,
+                    static_cast<std::uint64_t>(
+                        FaultKind::ArbGrantLoss));
+        net.send(from, p, TrafficClass::Other, 8, [] {});
+    } else {
+        net.send(from, p, TrafficClass::Other, 8,
+                 [reply, ok] { reply(ok); });
+    }
+    if (faults &&
+        faults->duplicateMessage(
+            curTick(), static_cast<int>(TrafficClass::Other))) {
+        net.send(from, p, TrafficClass::Other, 8,
+                 [reply, ok] { reply(ok); });
+    }
+}
+
+void
 DistributedArbiter::finishDecision(ProcId p, bool ok,
                                    std::function<void(bool)> reply,
                                    NodeId from)
 {
+    TxnRecord &rec = txns[p];
+    rec.decided = true;
+    rec.ok = ok;
     if (ok)
         ++stats_.grants;
     else
@@ -87,15 +117,46 @@ DistributedArbiter::finishDecision(ProcId p, bool ok,
     EVENT_TRACE(TraceEventType::ArbDecision, curTick(),
                 trackArb(static_cast<unsigned>(from - firstNode)), 0,
                 activeTxns, ok ? 1 : 0);
-    net.send(from, p, TrafficClass::Other, 8,
-             [reply, ok] { reply(ok); });
+    sendReply(p, ok, reply, from);
 }
 
 void
-DistributedArbiter::requestCommit(ProcId p, std::shared_ptr<Signature> w,
+DistributedArbiter::requestCommit(ProcId p, std::uint64_t txn,
+                                  std::shared_ptr<Signature> w,
                                   RProvider r_provider,
                                   std::function<void(bool)> reply)
 {
+    NodeId gnode = firstNode + static_cast<NodeId>(modules.size());
+
+    // Idempotent dedup: a retransmission of the transaction in flight
+    // is swallowed; one of a decided transaction re-sends the cached
+    // decision (deciding twice would self-collide with the reserved
+    // W signatures).
+    auto it = txns.find(p);
+    if (it != txns.end() && it->second.txn == txn) {
+        ++stats_.dupRequests;
+        if (it->second.decided)
+            sendReply(p, it->second.ok, reply, gnode);
+        return;
+    }
+    txns[p] = TxnRecord{txn, false, false};
+
+    if (faults &&
+        faults->dropMessage(FaultKind::ArbReqLoss, curTick(),
+                            static_cast<int>(TrafficClass::WrSig))) {
+        ++stats_.lostRequests;
+        EVENT_TRACE(TraceEventType::FaultInject, curTick(),
+                    trackArb(static_cast<unsigned>(modules.size())),
+                    txn,
+                    static_cast<std::uint64_t>(FaultKind::ArbReqLoss));
+        // The bits travel but never arrive; forget the record so the
+        // retransmission re-enters the decision flow.
+        net.send(p, gnode, TrafficClass::WrSig,
+                 w->empty() ? 16 : w->compressedBits(), [] {});
+        txns.erase(p);
+        return;
+    }
+
     // The processor knows from the signatures which arbiter(s) to
     // contact (Section 4.2.3).
     auto r = r_provider();
@@ -169,7 +230,6 @@ DistributedArbiter::requestCommit(ProcId p, std::shared_ptr<Signature> w,
 
     // Multi-range commit: coordinate through the G-arbiter
     // (Figure 8(b)). Both signatures travel with the request.
-    NodeId gnode = firstNode + static_cast<NodeId>(modules.size());
     unsigned bits = (w->empty() ? 16 : w->compressedBits()) +
                     (r ? r->compressedBits() : 16);
     net.send(p, gnode, TrafficClass::WrSig, bits,

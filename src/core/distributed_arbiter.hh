@@ -33,7 +33,17 @@ class DistributedArbiter : public SimObject, public ArbiterIface
     DistributedArbiter(EventQueue &eq, Network &net, NodeId first_node,
                        unsigned count, Tick processing, bool rsig_opt);
 
-    void requestCommit(ProcId p, std::shared_ptr<Signature> w,
+    /**
+     * Attach the fault plane. Request loss and reply loss/duplication
+     * are injected at the processor-facing edges; the internal module
+     * fan-out and votes stay reliable (they model on-chip wiring of
+     * one logical arbiter). arb.skip_collision is not supported here
+     * (MachineConfig::validate rejects it with numArbiters > 1).
+     */
+    void setFaultPlane(FaultPlane *fp) { faults = fp; }
+
+    void requestCommit(ProcId p, std::uint64_t txn,
+                       std::shared_ptr<Signature> w,
                        RProvider r_provider,
                        std::function<void(bool)> reply) override;
 
@@ -68,6 +78,10 @@ class DistributedArbiter : public SimObject, public ArbiterIface
     void finishDecision(ProcId p, bool ok,
                         std::function<void(bool)> reply, NodeId from);
 
+    /** Send a (possibly lost/duplicated) decision reply. */
+    void sendReply(ProcId p, bool ok,
+                   const std::function<void(bool)> &reply, NodeId from);
+
     void touchStats();
     void tryActivatePreArb();
 
@@ -75,6 +89,16 @@ class DistributedArbiter : public SimObject, public ArbiterIface
     NodeId firstNode;
     Tick processing;
     bool rsigOpt;
+    FaultPlane *faults = nullptr;
+
+    /** Decision cache: the latest transaction seen per processor. */
+    struct TxnRecord
+    {
+        std::uint64_t txn = ~std::uint64_t{0};
+        bool decided = false;
+        bool ok = false;
+    };
+    std::unordered_map<ProcId, TxnRecord> txns;
 
     std::vector<Module> modules;
     std::vector<std::shared_ptr<Signature>> gList;

@@ -4,6 +4,7 @@
 
 #include "sim/event_trace.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 #include "sim/trace_log.hh"
 
 namespace bulksc {
@@ -147,22 +148,36 @@ MemorySystem::sendInval(ProcId target, LineAddr line)
 }
 
 void
-MemorySystem::dirHandleRequest(ProcId p, LineAddr line, MemCmd cmd)
+MemorySystem::dirHandleRequest(ProcId p, LineAddr line, MemCmd cmd,
+                               unsigned bounces)
 {
     unsigned d = dirOf(line);
 
-    // Section 4.3.2: bounce reads to lines being committed.
+    // Section 4.3.2: bounce reads to lines being committed. The retry
+    // interval doubles per bounce up to the cap, so a reader stuck
+    // behind a long (or wedged) commit backs off instead of hammering
+    // the module every bounceRetry ticks forever.
     for (const auto &sig : committingSigs[d]) {
         if (sig->contains(line)) {
             ++nBounced;
             EVENT_TRACE(TraceEventType::DirBounce, curTick(),
-                        trackDir(d), 0, line);
-            eventq.scheduleAfter(prm.bounceRetry, [this, p, line, cmd] {
-                dirHandleRequest(p, line, cmd);
+                        trackDir(d), 0, line,
+                        static_cast<std::uint8_t>(
+                            bounces < 255 ? bounces : 255));
+            Tick cap = prm.bounceRetryCap ? prm.bounceRetryCap
+                                          : prm.bounceRetry * 32;
+            unsigned shift = bounces < 16 ? bounces : 16;
+            Tick delay = prm.bounceRetry << shift;
+            if (delay > cap || delay < prm.bounceRetry)
+                delay = cap;
+            eventq.scheduleAfter(delay, [this, p, line, cmd, bounces] {
+                dirHandleRequest(p, line, cmd, bounces + 1);
             });
             return;
         }
     }
+    if (bounces > 0)
+        bounceRetries.sample(static_cast<double>(bounces));
 
     auto it = l1s[p].mshrs.find(line);
     if (it != l1s[p].mshrs.end())
@@ -474,13 +489,102 @@ MemorySystem::bulkCommit(ProcId committer, std::shared_ptr<Signature> w,
                 (*user_done)();
         };
         txn->invalNodesOut = inval_nodes_out;
-        net.send(committer, prm.numProcs + d, TrafficClass::WrSig,
-                 w->compressedBits(), [this, d, committer, txn, start] {
-                     *start = curTick();
-                     committingSigs[d].push_back(txn->w);
-                     dirHandleCommit(d, committer, txn);
-                 });
+        sendCommitW(committer, d, txn, start, ++nextCommitId,
+                    std::make_shared<bool>(false), 1);
     }
+}
+
+void
+MemorySystem::sendCommitW(ProcId committer, unsigned d,
+                          const std::shared_ptr<CommitTxn> &txn,
+                          const std::shared_ptr<Tick> &start,
+                          std::uint64_t id,
+                          const std::shared_ptr<bool> &delivered,
+                          unsigned attempt)
+{
+    if (attempt > 1) {
+        ++nCommitResends;
+        EVENT_TRACE(TraceEventType::Resend, curTick(), trackDir(d), id,
+                    attempt - 1);
+        TRACE_LOG(TraceCat::Fault, curTick(), "dir", d, ": resend #",
+                  attempt - 1, " of commit W ", id, " from proc ",
+                  committer);
+    }
+
+    auto deliver = [this, d, committer, txn, start, id, delivered] {
+        if (*delivered)
+            return; // duplicate or late retransmission
+        if (faults &&
+            faults->dropMessage(
+                FaultKind::DirNack, curTick(),
+                static_cast<int>(TrafficClass::WrSig))) {
+            // The module refuses service (resource pressure); no
+            // explicit nack message travels — the committer's timeout
+            // drives the retry.
+            ++nDirNacks;
+            EVENT_TRACE(TraceEventType::DirNack, curTick(),
+                        trackDir(d), id, 0);
+            return;
+        }
+        *delivered = true;
+        *start = curTick();
+        committingSigs[d].push_back(txn->w);
+        dirHandleCommit(d, committer, txn);
+    };
+
+    bool lost = faults &&
+                faults->dropMessage(
+                    FaultKind::DirCommitLoss, curTick(),
+                    static_cast<int>(TrafficClass::WrSig));
+    if (lost) {
+        EVENT_TRACE(TraceEventType::FaultInject, curTick(), trackDir(d),
+                    id,
+                    static_cast<std::uint64_t>(
+                        FaultKind::DirCommitLoss));
+        net.send(committer, prm.numProcs + d, TrafficClass::WrSig,
+                 txn->w->compressedBits(), [] {});
+    } else {
+        net.send(committer, prm.numProcs + d, TrafficClass::WrSig,
+                 txn->w->compressedBits(), deliver);
+    }
+    if (faults &&
+        faults->duplicateMessage(
+            curTick(), static_cast<int>(TrafficClass::WrSig))) {
+        net.send(committer, prm.numProcs + d, TrafficClass::WrSig,
+                 txn->w->compressedBits(), deliver);
+    }
+
+    if (!prm.harden)
+        return;
+
+    unsigned shift = attempt < 16 ? attempt - 1 : 15;
+    Tick delay = prm.resendTimeout << shift;
+    if (delay > prm.resendTimeoutCap)
+        delay = prm.resendTimeoutCap;
+    // Deterministic jitter, as in the processors' resend chain.
+    Tick jitter_span = delay / 2;
+    if (jitter_span) {
+        std::uint64_t u = mix64((std::uint64_t{0xd1} << 56) ^
+                                (id << 8) ^ attempt);
+        delay = delay - jitter_span / 2 + (u % jitter_span);
+    }
+    eventq.scheduleAfter(delay, [this, committer, d, txn, start, id,
+                                 delivered, attempt] {
+        if (*delivered)
+            return;
+        if (attempt > prm.maxResend) {
+            // Give up: this directory never saw the W, the commit can
+            // never complete, and the committer wedges — which is
+            // exactly what the watchdog exists to report.
+            ++nCommitAbandoned;
+            TRACE_LOG(TraceCat::Fault, curTick(), "dir", d,
+                      ": abandoning commit W ", id, " after ", attempt,
+                      " attempts");
+            return;
+        }
+        sendCommitW(committer, d, txn, start, id, delivered,
+                    attempt + 1);
+    });
 }
 
 void
@@ -680,6 +784,15 @@ MemorySystem::dumpStats(StatGroup &sg, const std::string &prefix) const
            static_cast<double>(nDirDisplacements));
     sg.set(prefix + "fill_bypasses", static_cast<double>(nFillBypasses));
     dirCommitService.dumpInto(sg, prefix + "dir_commit_service.");
+    if (bounceRetries.samples())
+        bounceRetries.dumpInto(sg, prefix + "bounce_retries.");
+    if (nCommitResends || nCommitAbandoned || nDirNacks) {
+        sg.set(prefix + "commit_resends",
+               static_cast<double>(nCommitResends));
+        sg.set(prefix + "commit_abandoned",
+               static_cast<double>(nCommitAbandoned));
+        sg.set(prefix + "dir_nacks", static_cast<double>(nDirNacks));
+    }
 }
 
 } // namespace bulksc

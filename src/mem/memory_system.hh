@@ -93,6 +93,25 @@ struct MemParams
     Tick l2Latency = 13;   //!< L2 round trip
     Tick memLatency = 300; //!< memory round trip
     Tick bounceRetry = 20; //!< retry delay for bounced reads
+
+    /** Ceiling for the exponential bounce-retry backoff (0 = 32x
+     *  bounceRetry). A bounced read doubles its retry interval each
+     *  bounce up to this cap instead of spinning at bounceRetry. */
+    Tick bounceRetryCap = 0;
+
+    /** Arm the commit-service timeout/resend machinery (set by the
+     *  System when the fault plane can lose or duplicate messages). */
+    bool harden = false;
+
+    /** Resend attempts before abandoning a commit-service message. */
+    unsigned maxResend = 8;
+
+    /** Base commit-service resend timeout; doubles per attempt. */
+    Tick resendTimeout = 256;
+
+    /** Ceiling for the commit-service resend backoff. */
+    Tick resendTimeoutCap = 8192;
+
     unsigned numDirectories = 1;
     std::size_t dirCacheEntries = 0; //!< 0 = full-mapped directory
     SignatureConfig sigCfg;
@@ -114,6 +133,16 @@ class MemorySystem : public SimObject
 
     /** Register the consistency listener for processor @p p. */
     void setListener(ProcId p, CacheListener *l);
+
+    /**
+     * Attach the fault plane. The directory commit service is the
+     * faulted surface (dir.commit_loss, dir.nack, net.drop/dup of the
+     * W delivery); invalidation fan-out and acknowledgements stay
+     * reliable — they model short on-chip control wires, and faulting
+     * them would need ack-level sequencing the paper's protocol does
+     * not describe.
+     */
+    void setFaultPlane(FaultPlane *fp) { faults = fp; }
 
     /**
      * Issue an access.
@@ -267,7 +296,10 @@ class MemorySystem : public SimObject
     };
 
     void dispatchMiss(ProcId p, LineAddr line);
-    void dirHandleRequest(ProcId p, LineAddr line, MemCmd cmd);
+
+    /** @p bounces counts prior bounces of this request (backoff). */
+    void dirHandleRequest(ProcId p, LineAddr line, MemCmd cmd,
+                          unsigned bounces = 0);
     void finishFill(ProcId p, LineAddr line, MemCmd cmd);
     void sendInval(ProcId target, LineAddr line);
     void applyBulkInval(ProcId p, const Signature &w, bool discard_only,
@@ -278,10 +310,27 @@ class MemorySystem : public SimObject
     void dirHandleCommit(unsigned dir_idx, ProcId committer,
                          const std::shared_ptr<CommitTxn> &txn);
 
+    /**
+     * (Re)send a commit W to directory @p d, with loss/duplication
+     * injection on the wire, nack injection at arrival, idempotent
+     * delivery (via @p delivered), and — when hardening is armed — a
+     * timeout-driven resend chain with exponential backoff.
+     */
+    void sendCommitW(ProcId committer, unsigned d,
+                     const std::shared_ptr<CommitTxn> &txn,
+                     const std::shared_ptr<Tick> &start,
+                     std::uint64_t id,
+                     const std::shared_ptr<bool> &delivered,
+                     unsigned attempt);
+
     CacheArray::VictimFilter filterFor(ProcId p);
 
     MemParams prm;
     Network &net;
+    FaultPlane *faults = nullptr;
+
+    /** Commit-service message ids (dedup/trace labelling). */
+    std::uint64_t nextCommitId = 0;
 
     std::vector<L1> l1s;
     CacheArray l2;
@@ -304,10 +353,17 @@ class MemorySystem : public SimObject
     std::uint64_t nDirAliasUpdates = 0;
     std::uint64_t nDirDisplacements = 0;
     std::uint64_t nFillBypasses = 0;
+    std::uint64_t nCommitResends = 0;
+    std::uint64_t nCommitAbandoned = 0;
+    std::uint64_t nDirNacks = 0;
 
     /** Per-directory W commit service time: signature arrival at the
      *  module to the last invalidation acknowledgement (cycles). */
     Histogram dirCommitService;
+
+    /** Bounces each eventually-serviced read took (sampled only for
+     *  reads that bounced at least once). */
+    Histogram bounceRetries;
 };
 
 } // namespace bulksc

@@ -4,6 +4,13 @@
 
 namespace bulksc {
 
+// The fault plane's /CLASS scope names are index-matched to this enum;
+// it cannot include network.hh itself (it sits below the network
+// layer), so pin the correspondence here.
+static_assert(kFaultNumTrafficClasses ==
+                  static_cast<unsigned>(TrafficClass::NumClasses),
+              "fault_plane traffic-class table out of sync");
+
 const char *
 trafficClassName(TrafficClass c)
 {
@@ -35,8 +42,15 @@ Network::send(NodeId src, NodeId dst, TrafficClass cls, unsigned bits,
     classBits[static_cast<unsigned>(cls)] += bits + headerBits;
     ++msgCount;
 
+    Tick extra = 0;
+    if (faults && faults->active()) {
+        extra = faults->extraDelay(curTick(),
+                                   static_cast<int>(cls));
+    }
+
     if (!cfg.modelContention) {
-        eventq.scheduleAfter(latencyFor(bits), std::move(deliver));
+        eventq.scheduleAfter(latencyFor(bits) + extra,
+                             std::move(deliver));
         return;
     }
 
@@ -46,7 +60,7 @@ Network::send(NodeId src, NodeId dst, TrafficClass cls, unsigned bits,
     unsigned total = bits + headerBits;
     Tick ser = (total + cfg.linkBitsPerCycle - 1) /
                cfg.linkBitsPerCycle;
-    Tick arrive = curTick() + cfg.hopLatency;
+    Tick arrive = curTick() + cfg.hopLatency + extra;
     Tick &busy = linkBusyUntil[dst];
     Tick start = arrive > busy ? arrive : busy;
     queuedCycles += start - arrive;

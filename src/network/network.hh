@@ -20,6 +20,7 @@
 #include <unordered_map>
 
 #include "sim/event_queue.hh"
+#include "sim/fault_plane.hh"
 #include "sim/types.hh"
 
 namespace bulksc {
@@ -78,6 +79,14 @@ class Network : public SimObject
     void send(NodeId src, NodeId dst, TrafficClass cls, unsigned bits,
               EventQueue::Callback deliver);
 
+    /**
+     * Attach the fault plane. Only net.delay is applied here (uniform
+     * extra latency per message, scoped by traffic class and tick
+     * window); loss and duplication are decided at the protocol
+     * layers, which own the retransmission machinery.
+     */
+    void setFaultPlane(FaultPlane *fp) { faults = fp; }
+
     /** Latency a message of @p bits would experience. */
     Tick
     latencyFor(unsigned bits) const
@@ -106,6 +115,7 @@ class Network : public SimObject
     static constexpr unsigned headerBits = 64;
 
     NetworkConfig cfg;
+    FaultPlane *faults = nullptr;
     std::array<std::uint64_t,
                static_cast<unsigned>(TrafficClass::NumClasses)>
         classBits{};

@@ -99,7 +99,10 @@ EventQueue::step()
 Tick
 EventQueue::run(Tick limit)
 {
+    stopRequested = false;
     for (;;) {
+        if (stopRequested)
+            break;
         if (curHead < cur.size()) {
             // An in-progress batch's tick is _now; normally <= limit,
             // or it would not have been pulled — but a caller may

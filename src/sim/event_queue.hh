@@ -117,6 +117,19 @@ class EventQueue
     Tick run(Tick limit = kTickNever);
 
     /**
+     * Request that run() return at the next batch boundary.
+     *
+     * Callable from inside a firing event (the watchdog uses this to
+     * halt a wedged simulation); the current batch finishes so
+     * same-tick FIFO order is preserved, then run() returns. The flag
+     * is cleared at the next run() entry.
+     */
+    void stop() { stopRequested = true; }
+
+    /** @return true if stop() was called during the last run(). */
+    bool stopped() const { return stopRequested; }
+
+    /**
      * Fire a single event.
      *
      * @return true if an event was fired, false if the queue was empty.
@@ -218,6 +231,7 @@ class EventQueue
 
     Tick _now = 0;
     std::uint64_t fired = 0;
+    bool stopRequested = false;
 };
 
 /**

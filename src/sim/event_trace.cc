@@ -46,6 +46,16 @@ traceEventTypeName(TraceEventType t)
         return "sc-violation";
       case TraceEventType::RaceDetected:
         return "race-detected";
+      case TraceEventType::FaultInject:
+        return "fault-inject";
+      case TraceEventType::Resend:
+        return "resend";
+      case TraceEventType::DirNack:
+        return "dir-nack";
+      case TraceEventType::WatchdogRescue:
+        return "watchdog-rescue";
+      case TraceEventType::WatchdogTrip:
+        return "watchdog-trip";
       default:
         return "?";
     }
@@ -82,6 +92,13 @@ traceEventCat(TraceEventType t)
       case TraceEventType::ScViolation:
       case TraceEventType::RaceDetected:
         return TraceCat::Analysis;
+      case TraceEventType::FaultInject:
+      case TraceEventType::Resend:
+      case TraceEventType::DirNack:
+        return TraceCat::Fault;
+      case TraceEventType::WatchdogRescue:
+      case TraceEventType::WatchdogTrip:
+        return TraceCat::Watchdog;
       default:
         return TraceCat::Commit;
     }

@@ -55,6 +55,11 @@ enum class TraceEventType : std::uint8_t
     ScViolation, //!< axiomatic checker found a cycle (arg = address)
     RaceDetected, //!< happens-before race (arg = address; cause =
                   //!< 1 for a racing write)
+    FaultInject,  //!< fault plane fired (arg = FaultKind index)
+    Resend,       //!< protocol retransmission (arg = attempt number)
+    DirNack,      //!< directory refused a commit W delivery
+    WatchdogRescue, //!< watchdog forced a starved proc's chunk small
+    WatchdogTrip, //!< watchdog verdict reached (arg = verdict code)
     NumTypes,
 };
 

@@ -1,0 +1,426 @@
+#include "sim/fault_plane.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace bulksc {
+
+namespace {
+
+struct KindInfo
+{
+    FaultKind kind;
+    const char *name;
+};
+
+constexpr KindInfo kKinds[] = {
+    {FaultKind::NetDrop, "net.drop"},
+    {FaultKind::NetDup, "net.dup"},
+    {FaultKind::NetDelay, "net.delay"},
+    {FaultKind::ArbReqLoss, "arb.req_loss"},
+    {FaultKind::ArbGrantLoss, "arb.grant_loss"},
+    {FaultKind::ArbSkipCollision, "arb.skip_collision"},
+    {FaultKind::DirNack, "dir.nack"},
+    {FaultKind::DirCommitLoss, "dir.commit_loss"},
+};
+
+/** Traffic-class scope names, index-matched to TrafficClass. */
+constexpr const char *kClsNames[kFaultNumTrafficClasses] = {
+    "RdWr", "RdSig", "WrSig", "Inv", "Other",
+};
+
+bool
+kindFromName(const std::string &s, FaultKind &out)
+{
+    for (const KindInfo &k : kKinds) {
+        if (s == k.name) {
+            out = k.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end && *end == '\0';
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+std::string
+fmtRate(double r)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%g", r);
+    return buf;
+}
+
+/** Map a mix64 output to a uniform double in [0, 1). */
+double
+toUniform(std::uint64_t u)
+{
+    return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind k)
+{
+    for (const KindInfo &ki : kKinds) {
+        if (ki.kind == k)
+            return ki.name;
+    }
+    return "?";
+}
+
+bool
+FaultPlane::parseSpec(const std::string &spec,
+                      std::vector<FaultPoint> &out, std::string &err)
+{
+    out.clear();
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+
+        FaultPoint pt;
+
+        // Peel the optional tick window: NAME...=VALUE@LO:HI
+        std::size_t at = item.find('@');
+        if (at != std::string::npos) {
+            std::string win = item.substr(at + 1);
+            item = item.substr(0, at);
+            std::size_t colon = win.find(':');
+            if (colon == std::string::npos) {
+                err = "fault window '" + win + "' needs LO:HI";
+                return false;
+            }
+            std::uint64_t lo = 0, hi = 0;
+            if (!parseU64(win.substr(0, colon), lo)) {
+                err = "bad fault window start in '" + win + "'";
+                return false;
+            }
+            std::string his = win.substr(colon + 1);
+            if (his.empty()) {
+                hi = kTickNever;
+            } else if (!parseU64(his, hi)) {
+                err = "bad fault window end in '" + win + "'";
+                return false;
+            }
+            if (hi <= lo) {
+                err = "empty fault window '" + win + "'";
+                return false;
+            }
+            pt.tickLo = lo;
+            pt.tickHi = hi;
+        }
+
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            err = "fault item '" + item + "' needs NAME=VALUE";
+            return false;
+        }
+        std::string name = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+
+        // Optional traffic-class scope: NAME/CLASS
+        std::size_t slash = name.find('/');
+        if (slash != std::string::npos) {
+            std::string cls = name.substr(slash + 1);
+            name = name.substr(0, slash);
+            pt.cls = kFaultAnyClass;
+            for (unsigned c = 0; c < kFaultNumTrafficClasses; ++c) {
+                if (cls == kClsNames[c]) {
+                    pt.cls = static_cast<int>(c);
+                    break;
+                }
+            }
+            if (pt.cls == kFaultAnyClass) {
+                err = "unknown traffic class '" + cls +
+                      "' (RdWr, RdSig, WrSig, Inv, Other)";
+                return false;
+            }
+        }
+
+        if (!kindFromName(name, pt.kind)) {
+            err = "unknown fault kind '" + name + "'";
+            return false;
+        }
+
+        switch (pt.kind) {
+          case FaultKind::ArbSkipCollision: {
+            if (!parseU64(value, pt.everyN) || pt.everyN == 0) {
+                err = "arb.skip_collision needs a period >= 1, got '" +
+                      value + "'";
+                return false;
+            }
+            if (pt.cls != kFaultAnyClass) {
+                err = "arb.skip_collision takes no traffic class";
+                return false;
+            }
+            break;
+          }
+          case FaultKind::NetDelay: {
+            // MIN:MAX (always) or P:MIN:MAX (probabilistic).
+            std::size_t c1 = value.find(':');
+            if (c1 == std::string::npos) {
+                err = "net.delay needs MIN:MAX or P:MIN:MAX, got '" +
+                      value + "'";
+                return false;
+            }
+            std::size_t c2 = value.find(':', c1 + 1);
+            std::string ps, mins, maxs;
+            if (c2 == std::string::npos) {
+                ps = "1";
+                mins = value.substr(0, c1);
+                maxs = value.substr(c1 + 1);
+            } else {
+                ps = value.substr(0, c1);
+                mins = value.substr(c1 + 1, c2 - c1 - 1);
+                maxs = value.substr(c2 + 1);
+            }
+            std::uint64_t lo = 0, hi = 0;
+            if (!parseDouble(ps, pt.rate) || !parseU64(mins, lo) ||
+                !parseU64(maxs, hi) || hi < lo) {
+                err = "bad net.delay value '" + value + "'";
+                return false;
+            }
+            if (pt.rate < 0.0 || pt.rate > 1.0) {
+                err = "net.delay probability must be in [0,1]";
+                return false;
+            }
+            pt.delayMin = lo;
+            pt.delayMax = hi;
+            break;
+          }
+          default: {
+            if (!parseDouble(value, pt.rate) || pt.rate < 0.0 ||
+                pt.rate > 1.0) {
+                err = "fault rate for " + name +
+                      " must be in [0,1], got '" + value + "'";
+                return false;
+            }
+            break;
+          }
+        }
+        out.push_back(pt);
+    }
+    return true;
+}
+
+std::string
+FaultPlane::canonicalSpec(const std::vector<FaultPoint> &points)
+{
+    std::string out;
+    for (const FaultPoint &pt : points) {
+        if (!out.empty())
+            out += ',';
+        out += faultKindName(pt.kind);
+        if (pt.cls != kFaultAnyClass &&
+            pt.cls < static_cast<int>(kFaultNumTrafficClasses)) {
+            out += '/';
+            out += kClsNames[pt.cls];
+        }
+        out += '=';
+        if (pt.kind == FaultKind::ArbSkipCollision) {
+            out += std::to_string(pt.everyN);
+        } else if (pt.kind == FaultKind::NetDelay) {
+            out += fmtRate(pt.rate);
+            out += ':';
+            out += std::to_string(pt.delayMin);
+            out += ':';
+            out += std::to_string(pt.delayMax);
+        } else {
+            out += fmtRate(pt.rate);
+        }
+        if (pt.tickLo != 0 || pt.tickHi != kTickNever) {
+            out += '@';
+            out += std::to_string(pt.tickLo);
+            out += ':';
+            if (pt.tickHi != kTickNever)
+                out += std::to_string(pt.tickHi);
+        }
+    }
+    return out;
+}
+
+void
+FaultPlane::configure(std::vector<FaultPoint> points,
+                      std::uint64_t seed)
+{
+    points_ = std::move(points);
+    seed_ = seed;
+    counters_.fill(0);
+    opportunities_.fill(0);
+    injected_.fill(0);
+}
+
+bool
+FaultPlane::requiresHardening() const
+{
+    for (const FaultPoint &pt : points_) {
+        switch (pt.kind) {
+          case FaultKind::NetDrop:
+          case FaultKind::NetDup:
+          case FaultKind::ArbReqLoss:
+          case FaultKind::ArbGrantLoss:
+          case FaultKind::DirNack:
+          case FaultKind::DirCommitLoss:
+            return true;
+          default:
+            break;
+        }
+    }
+    return false;
+}
+
+bool
+FaultPlane::has(FaultKind kind) const
+{
+    for (const FaultPoint &pt : points_) {
+        if (pt.kind == kind)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultPlane::windowed(const FaultPoint &pt, Tick now, int cls) const
+{
+    if (now < pt.tickLo || now >= pt.tickHi)
+        return false;
+    if (pt.cls != kFaultAnyClass && cls != kFaultAnyClass &&
+        pt.cls != cls) {
+        return false;
+    }
+    return true;
+}
+
+bool
+FaultPlane::roll(const FaultPoint &pt, FaultKind counterKind)
+{
+    unsigned ki = static_cast<unsigned>(counterKind);
+    std::uint64_t n = ++counters_[ki];
+    std::uint64_t u = mix64(
+        seed_ ^ mix64((static_cast<std::uint64_t>(ki) << 56) ^ n));
+    return toUniform(u) < pt.rate;
+}
+
+bool
+FaultPlane::dropMessage(FaultKind kind, Tick now, int cls)
+{
+    bool drop = false;
+    unsigned ki = static_cast<unsigned>(kind);
+    ++opportunities_[ki];
+    for (const FaultPoint &pt : points_) {
+        // A generic net.drop point also covers the protocol-specific
+        // loss kinds (everything rides the same interconnect).
+        bool applies = pt.kind == kind ||
+                       (pt.kind == FaultKind::NetDrop &&
+                        kind != FaultKind::NetDrop);
+        if (!applies || !windowed(pt, now, cls))
+            continue;
+        if (roll(pt, kind))
+            drop = true;
+    }
+    if (drop)
+        ++injected_[ki];
+    return drop;
+}
+
+bool
+FaultPlane::duplicateMessage(Tick now, int cls)
+{
+    unsigned ki = static_cast<unsigned>(FaultKind::NetDup);
+    ++opportunities_[ki];
+    bool dup = false;
+    for (const FaultPoint &pt : points_) {
+        if (pt.kind != FaultKind::NetDup || !windowed(pt, now, cls))
+            continue;
+        if (roll(pt, FaultKind::NetDup))
+            dup = true;
+    }
+    if (dup)
+        ++injected_[ki];
+    return dup;
+}
+
+Tick
+FaultPlane::extraDelay(Tick now, int cls)
+{
+    unsigned ki = static_cast<unsigned>(FaultKind::NetDelay);
+    Tick extra = 0;
+    for (const FaultPoint &pt : points_) {
+        if (pt.kind != FaultKind::NetDelay || !windowed(pt, now, cls))
+            continue;
+        ++opportunities_[ki];
+        std::uint64_t n = ++counters_[ki];
+        std::uint64_t u = mix64(
+            seed_ ^ mix64((static_cast<std::uint64_t>(ki) << 56) ^ n));
+        if (toUniform(u) >= pt.rate)
+            continue;
+        Tick span = pt.delayMax - pt.delayMin + 1;
+        extra += pt.delayMin + static_cast<Tick>(mix64(u) % span);
+        ++injected_[ki];
+    }
+    return extra;
+}
+
+bool
+FaultPlane::skipCollision()
+{
+    unsigned ki = static_cast<unsigned>(FaultKind::ArbSkipCollision);
+    ++opportunities_[ki];
+    for (const FaultPoint &pt : points_) {
+        if (pt.kind != FaultKind::ArbSkipCollision)
+            continue;
+        if (++counters_[ki] >= pt.everyN) {
+            counters_[ki] = 0;
+            ++injected_[ki];
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+void
+FaultPlane::dumpStats(StatGroup &sg, const std::string &prefix) const
+{
+    if (!active())
+        return;
+    for (const KindInfo &ki : kKinds) {
+        unsigned i = static_cast<unsigned>(ki.kind);
+        if (opportunities_[i] == 0 && injected_[i] == 0)
+            continue;
+        sg.set(prefix + std::string(ki.name) + ".opportunities",
+               opportunities_[i]);
+        sg.set(prefix + std::string(ki.name) + ".injected",
+               injected_[i]);
+    }
+}
+
+} // namespace bulksc

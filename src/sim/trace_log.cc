@@ -54,6 +54,10 @@ traceCatName(TraceCat cat)
         return "mem";
       case TraceCat::Analysis:
         return "analysis";
+      case TraceCat::Fault:
+        return "fault";
+      case TraceCat::Watchdog:
+        return "watchdog";
       default:
         return "?";
     }
@@ -97,7 +101,8 @@ parseTraceCategories(const std::string &spec)
         for (TraceCat c : {TraceCat::Chunk, TraceCat::Commit,
                            TraceCat::Squash, TraceCat::Coherence,
                            TraceCat::Sync, TraceCat::Mem,
-                           TraceCat::Analysis}) {
+                           TraceCat::Analysis, TraceCat::Fault,
+                           TraceCat::Watchdog}) {
             if (name == traceCatName(c)) {
                 m |= static_cast<std::uint32_t>(c);
                 matched = true;
@@ -108,7 +113,7 @@ parseTraceCategories(const std::string &spec)
             std::fprintf(stderr,
                          "warning: unknown trace category '%s' "
                          "(known: chunk,commit,squash,coherence,sync,"
-                         "mem,analysis,all)\n",
+                         "mem,analysis,fault,watchdog,all)\n",
                          name.c_str());
         }
     }

@@ -31,6 +31,8 @@ enum class TraceCat : std::uint32_t
     Sync = 1u << 4,    //!< locks and barriers
     Mem = 1u << 5,     //!< cache fills and writebacks
     Analysis = 1u << 6, //!< SC violations and data races found
+    Fault = 1u << 7,   //!< fault injections and resends
+    Watchdog = 1u << 8, //!< forward-progress watchdog actions
 };
 
 /** @return the bitmask of enabled categories. */

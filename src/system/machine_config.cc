@@ -1,8 +1,28 @@
 #include "system/machine_config.hh"
 
+#include <vector>
+
+#include "sim/fault_plane.hh"
 #include "sim/logging.hh"
 
 namespace bulksc {
+
+const char *
+watchdogVerdictName(WatchdogVerdict v)
+{
+    switch (v) {
+      case WatchdogVerdict::None:
+        return "none";
+      case WatchdogVerdict::Livelock:
+        return "livelock";
+      case WatchdogVerdict::Starvation:
+        return "starvation";
+      case WatchdogVerdict::Deadlock:
+        return "deadlock";
+      default:
+        return "?";
+    }
+}
 
 const char *
 modelName(Model m)
@@ -97,6 +117,22 @@ MachineConfig::validate(std::string &err) const
                     "(arbiters 1), got arbiters " +
                     std::to_string(numArbiters));
     }
+    if (!faults.empty()) {
+        std::vector<FaultPoint> pts;
+        std::string ferr;
+        if (!FaultPlane::parseSpec(faults, pts, ferr))
+            return fail("faults: " + ferr);
+        for (const FaultPoint &pt : pts) {
+            if (pt.kind == FaultKind::ArbSkipCollision &&
+                numArbiters > 1) {
+                return fail("faults: arb.skip_collision requires the "
+                            "central arbiter (arbiters 1), got "
+                            "arbiters " + std::to_string(numArbiters));
+            }
+        }
+    }
+    if (watchdog.enabled && watchdog.interval == 0)
+        return fail("watchdog-interval must be at least 1 tick");
 
     for (const CacheGeometry *g : {&mem.l1, &mem.l2}) {
         const char *name = g == &mem.l1 ? "l1" : "l2";

@@ -7,6 +7,7 @@
 #ifndef BULKSC_SYSTEM_MACHINE_CONFIG_HH
 #define BULKSC_SYSTEM_MACHINE_CONFIG_HH
 
+#include <cstdint>
 #include <string>
 
 #include "core/bulk_processor.hh"
@@ -37,6 +38,58 @@ Model modelByName(const std::string &name);
 
 /** True for the four BulkSC variants. */
 bool isBulk(Model m);
+
+/** What the forward-progress watchdog concluded about a run. */
+enum class WatchdogVerdict
+{
+    None,       //!< no progress pathology detected
+    Livelock,   //!< a chunk kept squashing at the minimum size
+    Starvation, //!< a processor stopped committing (others continued)
+    Deadlock,   //!< no global progress at all (or tick ceiling hit)
+};
+
+/** Short printable verdict name ("livelock", ...). */
+const char *watchdogVerdictName(WatchdogVerdict v);
+
+/**
+ * Forward-progress watchdog knobs. Disabled by default so library
+ * embedders (tests, benches) see no behaviour change; the CLI tools
+ * turn it on.
+ */
+struct WatchdogConfig
+{
+    bool enabled = false;
+
+    /** Ticks between progress checks. */
+    Tick interval = 50'000;
+
+    /** Livelock: consecutive squashes of one processor's leading
+     *  chunk after shrinking has already bottomed out at
+     *  minChunkSize. */
+    unsigned livelockSquashes = 64;
+
+    /** Starvation: a processor whose last chunk commit is this many
+     *  ticks old while the machine as a whole keeps progressing is
+     *  first rescued, then (at twice the gap) reported. */
+    Tick starvationGap = 1'000'000;
+
+    /** Deadlock: consecutive checks with an unchanged global progress
+     *  signature before tripping. */
+    unsigned deadlockChecks = 3;
+
+    /** Attempt graceful degradation (force a starved processor's
+     *  chunk to the minimum size with pre-arbitration priority)
+     *  before declaring starvation. */
+    bool rescue = true;
+
+    /** Absolute tick ceiling (0 = none); exceeding it is reported as
+     *  a deadlock. */
+    Tick tickCeiling = 0;
+
+    /** Flush the event-trace ring as Chrome JSON here on a trip
+     *  ("" = no flush). */
+    std::string dumpPath;
+};
 
 /** Complete machine configuration (defaults follow Table 2). */
 struct MachineConfig
@@ -69,10 +122,27 @@ struct MachineConfig
     bool warmCaches = true;
 
     /**
-     * Fault injection for negative-testing the analysis subsystem:
-     * the central arbiter grants every Nth commit request that should
-     * have been denied for a signature collision (0 = off, the
-     * default). Only supported with the central arbiter
+     * Fault-plane specification, e.g.
+     * "net.drop=0.01,net.delay=1:200,arb.grant_loss=0.002" — see
+     * FaultPlane::parseSpec for the grammar. Empty = no injection.
+     */
+    std::string faults;
+
+    /** Seed for the fault plane's deterministic decisions. */
+    std::uint64_t faultSeed = 1;
+
+    /** Force the hardened (sequence numbers + timeout/resend)
+     *  protocol even when the fault plane cannot lose messages. */
+    bool harden = false;
+
+    /** Forward-progress watchdog (off by default; tools enable it). */
+    WatchdogConfig watchdog;
+
+    /**
+     * Deprecated alias for "arb.skip_collision=N" in @ref faults:
+     * grant every Nth commit request that should have been denied for
+     * a signature collision (0 = off). Folded into the fault plane by
+     * System. Only supported with the central arbiter
      * (numArbiters <= 1).
      */
     unsigned faultSkipArbEvery = 0;

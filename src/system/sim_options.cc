@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
+#include "sim/fault_plane.hh"
 #include "sim/stats.hh"
 
 namespace bulksc {
@@ -313,9 +315,137 @@ OptionRegistry::OptionRegistry()
     b.uint("seed-salt", "N", "vary the generated traces", kAll, true,
            &SimOptions::seedSalt);
 
+    b.strSet(
+        "faults", "SPEC",
+        "fault-injection plane, e.g. net.drop=0.01,net.delay=1:200,"
+        "arb.grant_loss=0.002 (NAME[/CLASS]=VALUE[@LO:HI], "
+        "comma-separated)",
+        kAll, true,
+        [](SimOptions &o, const std::string &v, std::string &err) {
+            std::vector<FaultPoint> pts;
+            if (!v.empty() &&
+                !FaultPlane::parseSpec(v, pts, err)) {
+                err = "--faults: " + err;
+                return false;
+            }
+            // Store the canonical form so --dump-config round-trips
+            // byte-identically.
+            o.cfg.faults = FaultPlane::canonicalSpec(pts);
+            return true;
+        },
+        [](const SimOptions &o) { return o.cfg.faults; });
+
+    b.uintSet("fault-seed", "N",
+              "seed for the fault plane's deterministic decisions",
+              kAll, true,
+              [](SimOptions &o, std::uint64_t v) {
+                  o.cfg.faultSeed = v;
+              },
+              [](const SimOptions &o) { return o.cfg.faultSeed; });
+
+    b.flag("harden",
+           "force the hardened protocol (sequence numbers, timeout/"
+           "resend) even when the fault plane cannot lose messages",
+           kAll, true,
+           [](SimOptions &o, bool v) { o.cfg.harden = v; },
+           [](const SimOptions &o) { return o.cfg.harden; });
+
+    b.uintSet("max-resend", "N",
+              "hardened protocol: give up a request after N "
+              "retransmissions",
+              kAll, true,
+              [](SimOptions &o, std::uint64_t v) {
+                  o.cfg.bulk.maxResend = static_cast<unsigned>(v);
+                  o.cfg.mem.maxResend = static_cast<unsigned>(v);
+              },
+              [](const SimOptions &o) {
+                  return std::uint64_t{o.cfg.bulk.maxResend};
+              });
+
+    b.uintSet("resend-timeout", "N",
+              "hardened protocol: base retransmission timeout in "
+              "ticks (doubles per attempt)",
+              kAll, true,
+              [](SimOptions &o, std::uint64_t v) {
+                  o.cfg.bulk.resendTimeout = v;
+                  o.cfg.mem.resendTimeout = v;
+              },
+              [](const SimOptions &o) {
+                  return std::uint64_t{o.cfg.bulk.resendTimeout};
+              });
+
+    b.flag("watchdog",
+           "forward-progress watchdog: detect livelock, starvation, "
+           "and deadlock (--no-watchdog disables)",
+           kAll, true,
+           [](SimOptions &o, bool v) { o.cfg.watchdog.enabled = v; },
+           [](const SimOptions &o) { return o.cfg.watchdog.enabled; });
+
+    b.uintSet("watchdog-interval", "N",
+              "ticks between watchdog progress checks", kAll, true,
+              [](SimOptions &o, std::uint64_t v) {
+                  o.cfg.watchdog.interval = v;
+              },
+              [](const SimOptions &o) {
+                  return std::uint64_t{o.cfg.watchdog.interval};
+              });
+
+    b.uintSet("watchdog-livelock", "N",
+              "livelock: consecutive squashes at the minimum chunk "
+              "size before tripping",
+              kAll, true,
+              [](SimOptions &o, std::uint64_t v) {
+                  o.cfg.watchdog.livelockSquashes =
+                      static_cast<unsigned>(v);
+              },
+              [](const SimOptions &o) {
+                  return std::uint64_t{o.cfg.watchdog.livelockSquashes};
+              });
+
+    b.uintSet("watchdog-starvation", "N",
+              "starvation: commit-age gap in ticks before rescuing "
+              "(tripping at twice the gap)",
+              kAll, true,
+              [](SimOptions &o, std::uint64_t v) {
+                  o.cfg.watchdog.starvationGap = v;
+              },
+              [](const SimOptions &o) {
+                  return std::uint64_t{o.cfg.watchdog.starvationGap};
+              });
+
+    b.uintSet("watchdog-ceiling", "N",
+              "absolute tick ceiling reported as a deadlock (0 = "
+              "none)",
+              kAll, true,
+              [](SimOptions &o, std::uint64_t v) {
+                  o.cfg.watchdog.tickCeiling = v;
+              },
+              [](const SimOptions &o) {
+                  return std::uint64_t{o.cfg.watchdog.tickCeiling};
+              });
+
+    b.flag("watchdog-rescue",
+           "graceful degradation: shrink a starved processor's chunk "
+           "with pre-arbitration priority before tripping",
+           kAll, true,
+           [](SimOptions &o, bool v) { o.cfg.watchdog.rescue = v; },
+           [](const SimOptions &o) { return o.cfg.watchdog.rescue; });
+
+    b.strSet("watchdog-dump", "FILE",
+             "flush the event-trace ring as Chrome JSON here when "
+             "the watchdog trips",
+             kSim, false,
+             [](SimOptions &o, const std::string &v, std::string &) {
+                 o.cfg.watchdog.dumpPath = v;
+                 return true;
+             },
+             [](const SimOptions &o) {
+                 return o.cfg.watchdog.dumpPath;
+             });
+
     b.uintSet("inject-skip-arb", "N",
-              "fault injection: grant every Nth colliding commit "
-              "request (0 = off)",
+              "deprecated alias for --faults arb.skip_collision=N: "
+              "grant every Nth colliding commit request (0 = off)",
               kSim, true,
               [](SimOptions &o, std::uint64_t v) {
                   o.cfg.faultSkipArbEvery = static_cast<unsigned>(v);

@@ -50,6 +50,10 @@ struct CheckSet
  */
 struct SimOptions
 {
+    /** Tools run with the forward-progress watchdog armed; library
+     *  embedders constructing MachineConfig directly keep it off. */
+    SimOptions() { cfg.watchdog.enabled = true; }
+
     MachineConfig cfg;
 
     std::string app = "ocean";   //!< workload profile name

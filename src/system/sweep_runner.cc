@@ -35,10 +35,13 @@ SweepRunner::SweepRunner(SimOptions base_, std::vector<SweepAxis> axes_)
 {
     nPoints = 1;
     sweepsSeedSalt = false;
+    sweepsFaultSeed = false;
     for (const SweepAxis &a : axes) {
         nPoints *= a.values.size();
         if (a.name == "seed-salt")
             sweepsSeedSalt = true;
+        if (a.name == "fault-seed")
+            sweepsFaultSeed = true;
     }
 }
 
@@ -65,10 +68,12 @@ SweepRunner::pointOptions(std::size_t idx, SimOptions &out,
         if (!reg.applyKeyValue(out, name, value, err))
             return false;
     }
-    // Same point index, same trace — regardless of which worker runs
-    // it or how many there are.
+    // Same point index, same trace and same fault schedule —
+    // regardless of which worker runs it or how many there are.
     if (!sweepsSeedSalt)
         out.seedSalt = mix64(base.seedSalt ^ mix64(idx));
+    if (!sweepsFaultSeed)
+        out.cfg.faultSeed = mix64(base.cfg.faultSeed ^ mix64(idx));
     return true;
 }
 
@@ -149,7 +154,11 @@ SweepRunner::runPoint(std::size_t idx, bool &ok) const
     os << ", \"procs\": " << o.cfg.numProcs;
     os << ", \"instrs\": " << o.instrs;
     os << ", \"seed_salt\": " << o.seedSalt;
+    if (!o.cfg.faults.empty())
+        os << ", \"fault_seed\": " << o.cfg.faultSeed;
     os << ", \"completed\": " << (res.completed ? "true" : "false");
+    os << ", \"watchdog\": \""
+       << watchdogVerdictName(res.watchdogVerdict) << '"';
     os << ", \"stats\": {";
     bool first = true;
     for (const auto &[k, v] : res.stats.entries()) {
@@ -158,7 +167,8 @@ SweepRunner::runPoint(std::size_t idx, bool &ok) const
         first = false;
     }
     os << "}}";
-    ok = res.completed;
+    ok = res.completed &&
+         res.watchdogVerdict == WatchdogVerdict::None;
     return os.str();
 }
 

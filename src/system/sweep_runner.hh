@@ -91,6 +91,7 @@ class SweepRunner
     std::vector<SweepAxis> axes;
     std::size_t nPoints;
     bool sweepsSeedSalt;
+    bool sweepsFaultSeed;
 };
 
 } // namespace bulksc

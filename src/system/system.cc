@@ -17,24 +17,57 @@ System::System(MachineConfig cfg_, std::vector<Trace> traces_)
         cfg.numProcs = static_cast<unsigned>(traces.size());
     cfg.resolve();
 
+    // Fault plane: parse the spec, fold in the deprecated
+    // inject-skip-arb alias, and derive whether the hardened
+    // (sequence numbers + timeout/resend) protocol is needed.
+    {
+        std::vector<FaultPoint> pts;
+        if (!cfg.faults.empty()) {
+            std::string err;
+            fatal_if(!FaultPlane::parseSpec(cfg.faults, pts, err),
+                     "faults: ", err);
+        }
+        if (cfg.faultSkipArbEvery) {
+            FaultPoint pt;
+            pt.kind = FaultKind::ArbSkipCollision;
+            pt.everyN = cfg.faultSkipArbEvery;
+            pts.push_back(pt);
+        }
+        faults.configure(std::move(pts), cfg.faultSeed);
+    }
+    if (faults.requiresHardening())
+        cfg.harden = true;
+    cfg.bulk.harden = cfg.harden;
+    cfg.mem.harden = cfg.harden;
+
     const unsigned np = cfg.numProcs;
     const unsigned nd = cfg.mem.numDirectories;
 
     net = std::make_unique<Network>(eq, cfg.net);
     memSys = std::make_unique<MemorySystem>(eq, *net, cfg.mem);
+    if (faults.active()) {
+        net->setFaultPlane(&faults);
+        memSys->setFaultPlane(&faults);
+    }
 
     if (isBulk(cfg.model)) {
         if (cfg.numArbiters <= 1) {
-            arb = std::make_unique<Arbiter>(
+            auto a = std::make_unique<Arbiter>(
                 eq, *net, np + nd, cfg.arbProcessing, cfg.bulk.rsigOpt,
-                cfg.maxSimulCommits, cfg.faultSkipArbEvery);
+                cfg.maxSimulCommits);
+            if (faults.active())
+                a->setFaultPlane(&faults);
+            arb = std::move(a);
         } else {
-            fatal_if(cfg.faultSkipArbEvery,
-                     "arbiter fault injection needs the central "
+            fatal_if(faults.has(FaultKind::ArbSkipCollision),
+                     "arb.skip_collision injection needs the central "
                      "arbiter (numArbiters <= 1)");
-            arb = std::make_unique<DistributedArbiter>(
+            auto a = std::make_unique<DistributedArbiter>(
                 eq, *net, np + nd, cfg.numArbiters, cfg.arbProcessing,
                 cfg.bulk.rsigOpt);
+            if (faults.active())
+                a->setFaultPlane(&faults);
+            arb = std::move(a);
         }
     }
 
@@ -63,6 +96,18 @@ System::System(MachineConfig cfg_, std::vector<Trace> traces_)
                 eq, name, p, *memSys, traces[p], cfg.cpu, cfg.bulk,
                 *arb));
             break;
+        }
+    }
+
+    if (cfg.watchdog.enabled && isBulk(cfg.model)) {
+        std::vector<BulkProcessor *> bps;
+        for (auto &p : procs) {
+            if (auto *bp = dynamic_cast<BulkProcessor *>(p.get()))
+                bps.push_back(bp);
+        }
+        if (!bps.empty()) {
+            dog = std::make_unique<Watchdog>(eq, cfg.watchdog,
+                                             std::move(bps), *net);
         }
     }
 }
@@ -145,6 +190,8 @@ System::run(Tick limit)
     }
     for (auto &p : procs)
         p->start();
+    if (dog)
+        dog->start();
     eq.run(limit);
 
     Results res;
@@ -157,8 +204,14 @@ System::run(Tick limit)
         if (p->finishTick() > res.execTime)
             res.execTime = p->finishTick();
     }
+    if (dog) {
+        res.watchdogVerdict = dog->verdict();
+        res.watchdogReport = dog->report();
+    }
     if (!res.completed) {
-        warn("run hit the tick limit before all processors finished");
+        if (res.watchdogVerdict == WatchdogVerdict::None)
+            warn("run hit the tick limit before all processors "
+                 "finished");
         res.execTime = eq.now();
     }
     for (auto &p : procs)
@@ -204,6 +257,18 @@ System::collectStats(Results &res) const
            retired + wasted > 0 ? 100.0 * wasted / (retired + wasted)
                                 : 0.0);
 
+    if (faults.active()) {
+        sg.set("faults.harden", cfg.harden ? 1 : 0);
+        faults.dumpStats(sg, "faults.");
+    }
+    if (dog) {
+        sg.set("watchdog.verdict",
+               static_cast<double>(res.watchdogVerdict));
+        sg.set("watchdog.checks", static_cast<double>(dog->checks()));
+        sg.set("watchdog.rescues",
+               static_cast<double>(dog->rescues()));
+    }
+
     if (!isBulk(cfg.model))
         return;
 
@@ -231,9 +296,12 @@ System::collectStats(Results &res) const
         agg.trueConflictSquashes += b.trueConflictSquashes;
         agg.falsePositiveSquashes += b.falsePositiveSquashes;
         agg.unattributedSquashes += b.unattributedSquashes;
+        agg.resends += b.resends;
+        agg.resendGiveUps += b.resendGiveUps;
         agg.arbLatency.merge(b.arbLatency);
         agg.squashRestart.merge(b.squashRestart);
         agg.squashChunkSize.merge(b.squashChunkSize);
+        agg.resendAttempts.merge(b.resendAttempts);
     }
     double commits = static_cast<double>(agg.commits);
     sg.set("bulk.commits", commits);
@@ -278,6 +346,12 @@ System::collectStats(Results &res) const
     agg.arbLatency.dumpInto(sg, "bulk.arb_latency.");
     agg.squashRestart.dumpInto(sg, "bulk.squash_restart.");
     agg.squashChunkSize.dumpInto(sg, "bulk.squash_chunk_size.");
+    if (cfg.harden) {
+        sg.set("bulk.resends", static_cast<double>(agg.resends));
+        sg.set("bulk.resend_give_ups",
+               static_cast<double>(agg.resendGiveUps));
+        agg.resendAttempts.dumpInto(sg, "bulk.resend_attempts.");
+    }
 
     if (verifier) {
         sg.set("sc_verifier.verified", verifier->verified() ? 1 : 0);
@@ -315,6 +389,14 @@ System::collectStats(Results &res) const
         sg.set("arb.pre_arbitrations",
                static_cast<double>(as.preArbitrations));
         as.occupancy.dumpInto(sg, "arb.commit_occupancy.");
+        if (faults.active()) {
+            sg.set("arb.dup_requests",
+                   static_cast<double>(as.dupRequests));
+            sg.set("arb.lost_requests",
+                   static_cast<double>(as.lostRequests));
+            sg.set("arb.lost_replies",
+                   static_cast<double>(as.lostReplies));
+        }
     }
 }
 

@@ -29,8 +29,10 @@
 #include "mem/memory_system.hh"
 #include "network/network.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault_plane.hh"
 #include "sim/stats.hh"
 #include "system/machine_config.hh"
+#include "system/watchdog.hh"
 
 namespace bulksc {
 
@@ -42,6 +44,14 @@ struct Results
 
     /** True iff every processor completed within the run limit. */
     bool completed = false;
+
+    /** What the forward-progress watchdog concluded (None when it is
+     *  disabled or the run was healthy). */
+    WatchdogVerdict watchdogVerdict = WatchdogVerdict::None;
+
+    /** The watchdog's diagnostic report ("" unless it tripped):
+     *  verdict, cause, and per-processor chunk state. */
+    std::string watchdogReport;
 
     /** Aggregated statistics from every component. */
     StatGroup stats;
@@ -100,6 +110,8 @@ class System
     MemorySystem &memory() { return *memSys; }
     Network &network() { return *net; }
     ArbiterIface *arbiter() { return arb.get(); }
+    FaultPlane &faultPlane() { return faults; }
+    const Watchdog *watchdog() const { return dog.get(); }
     ProcessorBase &processor(unsigned i) { return *procs.at(i); }
     const MachineConfig &config() const { return cfg; }
     EventQueue &eventQueue() { return eq; }
@@ -115,10 +127,12 @@ class System
     std::vector<Trace> traces;
 
     EventQueue eq;
+    FaultPlane faults;
     std::unique_ptr<Network> net;
     std::unique_ptr<MemorySystem> memSys;
     std::unique_ptr<ArbiterIface> arb;
     std::vector<std::unique_ptr<ProcessorBase>> procs;
+    std::unique_ptr<Watchdog> dog;
     std::unique_ptr<ScVerifier> verifier;
     std::unique_ptr<AnalysisEngine> engine;
 };

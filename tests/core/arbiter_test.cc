@@ -35,7 +35,7 @@ struct Harness
         bool granted = false;
         bool replied = false;
         arb.requestCommit(
-            p, std::move(w), [r] { return r; },
+            p, ++txn, std::move(w), [r] { return r; },
             [&](bool ok) {
                 granted = ok;
                 replied = true;
@@ -48,6 +48,7 @@ struct Harness
     EventQueue eq;
     Network net;
     Arbiter arb;
+    std::uint64_t txn = 0; //!< fresh transaction id per request
 };
 
 TEST(Arbiter, GrantsWhenListEmpty)
@@ -149,7 +150,8 @@ TEST(Arbiter, SquashedChunkDeniedViaNullR)
     // Second requester's chunk vanished before R could be supplied.
     bool granted = true;
     h.arb.requestCommit(
-        1, h.sig({200}), [] { return std::shared_ptr<Signature>(); },
+        1, ++h.txn, h.sig({200}),
+        [] { return std::shared_ptr<Signature>(); },
         [&](bool ok) { granted = ok; });
     h.eq.run();
     EXPECT_FALSE(granted);
@@ -199,10 +201,10 @@ TEST(Arbiter, RacingRequestsCheckedAtomically)
     auto wb = h.sig({200});
     auto rb = h.sig({100}); // collides with A's W
     h.arb.requestCommit(
-        0, wa, [&] { return h.sig({300}); },
+        0, ++h.txn, wa, [&] { return h.sig({300}); },
         [&](bool ok) { a_granted = ok; });
     h.arb.requestCommit(
-        1, wb, [rb] { return rb; },
+        1, ++h.txn, wb, [rb] { return rb; },
         [&](bool ok) { b_granted = ok; });
     h.eq.run();
     EXPECT_TRUE(a_granted);
@@ -214,14 +216,66 @@ TEST(Arbiter, RacingDisjointRequestsBothGranted)
     Harness h;
     bool a = false, b = false;
     h.arb.requestCommit(
-        0, h.sig({100}), [&] { return h.sig({101}); },
+        0, ++h.txn, h.sig({100}), [&] { return h.sig({101}); },
         [&](bool ok) { a = ok; });
     h.arb.requestCommit(
-        1, h.sig({200}), [&] { return h.sig({201}); },
+        1, ++h.txn, h.sig({200}), [&] { return h.sig({201}); },
         [&](bool ok) { b = ok; });
     h.eq.run();
     EXPECT_TRUE(a);
     EXPECT_TRUE(b);
+}
+
+TEST(Arbiter, DuplicateRequestAnsweredFromDecisionCache)
+{
+    // A retransmitted request (same proc, same txn) must be answered
+    // from the cached decision, never re-decided: a granted W is
+    // already in the list and would collide with itself.
+    Harness h;
+    auto w = h.sig({100});
+    bool granted = false;
+    h.arb.requestCommit(
+        0, 1, w, [&] { return h.sig({}); },
+        [&](bool ok) { granted = ok; });
+    h.eq.run();
+    ASSERT_TRUE(granted);
+    ASSERT_EQ(h.arb.pendingW(), 1u);
+
+    bool re_granted = false;
+    h.arb.requestCommit(
+        0, 1, w, [&] { return h.sig({}); },
+        [&](bool ok) { re_granted = ok; });
+    h.eq.run();
+    EXPECT_TRUE(re_granted); // cached grant, not a self-collision
+    EXPECT_EQ(h.arb.stats().dupRequests, 1u);
+    EXPECT_EQ(h.arb.pendingW(), 1u); // W not inserted twice
+    EXPECT_EQ(h.arb.stats().grants, 1u);
+}
+
+TEST(Arbiter, DuplicateOfDenialResendsDenial)
+{
+    Harness h;
+    ASSERT_TRUE(h.request(0, h.sig({}), h.sig({100})));
+    auto deny_w = h.sig({100});
+    bool granted = true;
+    h.arb.requestCommit(
+        1, 5, deny_w, [&] { return h.sig({}); },
+        [&](bool ok) { granted = ok; });
+    h.eq.run();
+    ASSERT_FALSE(granted);
+    // Retransmission of the denied txn: cached denial comes back.
+    bool re_granted = true;
+    bool replied = false;
+    h.arb.requestCommit(
+        1, 5, deny_w, [&] { return h.sig({}); },
+        [&](bool ok) {
+            re_granted = ok;
+            replied = true;
+        });
+    h.eq.run();
+    EXPECT_TRUE(replied);
+    EXPECT_FALSE(re_granted);
+    EXPECT_EQ(h.arb.stats().denials, 1u); // decided exactly once
 }
 
 TEST(Arbiter, TimeWeightedStats)

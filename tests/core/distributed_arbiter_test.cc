@@ -33,7 +33,7 @@ struct Harness
     {
         bool granted = false;
         arb.requestCommit(
-            p, std::move(w), [r] { return r; },
+            p, ++txn, std::move(w), [r] { return r; },
             [&](bool ok) { granted = ok; });
         eq.run();
         return granted;
@@ -42,6 +42,7 @@ struct Harness
     EventQueue eq;
     Network net;
     DistributedArbiter arb;
+    std::uint64_t txn = 0; //!< fresh transaction id per request
 };
 
 TEST(DistributedArbiter, SingleRangeCommitUsesOneModule)

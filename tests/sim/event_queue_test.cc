@@ -248,6 +248,45 @@ TEST(EventQueue, OversizedCapturesWork)
     EXPECT_EQ(seen, 42);
 }
 
+TEST(EventQueue, StopHaltsTheRunLoop)
+{
+    // stop() from inside a handler makes run() return at the next
+    // batch boundary, leaving later events pending.
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] {
+        ++fired;
+        eq.stop();
+    });
+    eq.schedule(30, [&] { ++fired; });
+    eq.run();
+    EXPECT_TRUE(eq.stopped());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.empty());
+    // A fresh run() clears the request and drains the rest.
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, StopPreservesSameTickFifo)
+{
+    // Events already in the tick batch being processed still fire —
+    // stop is checked only between batches, so same-tick FIFO
+    // ordering is never torn.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(1);
+        eq.stop();
+    });
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(20, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 TEST(EventQueueDeath, SchedulingInThePastPanics)
 {
     EventQueue eq;

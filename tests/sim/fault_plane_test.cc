@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the fault-injection plane: spec grammar, canonical
+ * round-trip, seeded determinism, traffic-class and tick-window
+ * scoping, and the skip-collision period.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/fault_plane.hh"
+#include "sim/stats.hh"
+
+namespace bulksc {
+namespace {
+
+std::vector<FaultPoint>
+parse(const std::string &spec)
+{
+    std::vector<FaultPoint> pts;
+    std::string err;
+    EXPECT_TRUE(FaultPlane::parseSpec(spec, pts, err)) << err;
+    return pts;
+}
+
+std::string
+parseError(const std::string &spec)
+{
+    std::vector<FaultPoint> pts;
+    std::string err;
+    EXPECT_FALSE(FaultPlane::parseSpec(spec, pts, err)) << spec;
+    return err;
+}
+
+TEST(FaultPlane, ParsesEveryKind)
+{
+    auto pts = parse("net.drop=0.01,net.dup=0.005,net.delay=1:200,"
+                     "arb.req_loss=0.1,arb.grant_loss=0.002,"
+                     "arb.skip_collision=5,dir.nack=0.3,"
+                     "dir.commit_loss=0.4");
+    ASSERT_EQ(pts.size(), 8u);
+    EXPECT_EQ(pts[0].kind, FaultKind::NetDrop);
+    EXPECT_DOUBLE_EQ(pts[0].rate, 0.01);
+    EXPECT_EQ(pts[2].kind, FaultKind::NetDelay);
+    EXPECT_EQ(pts[2].delayMin, 1u);
+    EXPECT_EQ(pts[2].delayMax, 200u);
+    EXPECT_DOUBLE_EQ(pts[2].rate, 1.0); // MIN:MAX means p = 1
+    EXPECT_EQ(pts[5].kind, FaultKind::ArbSkipCollision);
+    EXPECT_EQ(pts[5].everyN, 5u);
+}
+
+TEST(FaultPlane, ParsesClassScopeAndWindow)
+{
+    auto pts = parse("net.drop/WrSig=0.5@100:2000,net.dup=0.1@500:");
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_EQ(pts[0].cls, 2); // WrSig
+    EXPECT_EQ(pts[0].tickLo, 100u);
+    EXPECT_EQ(pts[0].tickHi, 2000u);
+    EXPECT_EQ(pts[1].cls, kFaultAnyClass);
+    EXPECT_EQ(pts[1].tickLo, 500u);
+    EXPECT_EQ(pts[1].tickHi, kTickNever);
+}
+
+TEST(FaultPlane, ParsesProbabilisticDelay)
+{
+    auto pts = parse("net.delay=0.25:10:50");
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_DOUBLE_EQ(pts[0].rate, 0.25);
+    EXPECT_EQ(pts[0].delayMin, 10u);
+    EXPECT_EQ(pts[0].delayMax, 50u);
+}
+
+TEST(FaultPlane, RejectsBadSpecs)
+{
+    EXPECT_NE(parseError("bogus.kind=0.1"), "");
+    EXPECT_NE(parseError("net.drop=1.5"), "");  // rate out of range
+    EXPECT_NE(parseError("net.drop=-0.1"), "");
+    EXPECT_NE(parseError("net.drop"), "");      // missing value
+    EXPECT_NE(parseError("net.drop/NoSuchClass=0.1"), "");
+    EXPECT_NE(parseError("arb.skip_collision=0"), "");
+    EXPECT_NE(parseError("net.delay=50:10"), ""); // hi < lo
+    EXPECT_NE(parseError("net.drop=0.1@200:100"), "");
+}
+
+TEST(FaultPlane, CanonicalSpecRoundTrips)
+{
+    const std::string spec =
+        "net.drop/WrSig=0.01@100:2000,net.delay=0.5:1:200,"
+        "arb.skip_collision=3";
+    auto pts = parse(spec);
+    std::string canon = FaultPlane::canonicalSpec(pts);
+    auto pts2 = parse(canon);
+    EXPECT_EQ(canon, FaultPlane::canonicalSpec(pts2));
+    ASSERT_EQ(pts.size(), pts2.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        EXPECT_EQ(pts[i].kind, pts2[i].kind);
+        EXPECT_DOUBLE_EQ(pts[i].rate, pts2[i].rate);
+        EXPECT_EQ(pts[i].cls, pts2[i].cls);
+        EXPECT_EQ(pts[i].tickLo, pts2[i].tickLo);
+        EXPECT_EQ(pts[i].tickHi, pts2[i].tickHi);
+    }
+}
+
+TEST(FaultPlane, SameSeedSameSchedule)
+{
+    auto pts = parse("net.drop=0.3,net.dup=0.2,net.delay=0.5:1:40");
+    FaultPlane a, b;
+    a.configure(pts, 12345);
+    b.configure(pts, 12345);
+    for (Tick t = 0; t < 2000; ++t) {
+        EXPECT_EQ(a.dropMessage(FaultKind::NetDrop, t, 0),
+                  b.dropMessage(FaultKind::NetDrop, t, 0));
+        EXPECT_EQ(a.duplicateMessage(t, 1), b.duplicateMessage(t, 1));
+        EXPECT_EQ(a.extraDelay(t, 2), b.extraDelay(t, 2));
+    }
+    EXPECT_EQ(a.injectedCount(FaultKind::NetDrop),
+              b.injectedCount(FaultKind::NetDrop));
+    EXPECT_GT(a.injectedCount(FaultKind::NetDrop), 0u);
+}
+
+TEST(FaultPlane, DifferentSeedDifferentSchedule)
+{
+    auto pts = parse("net.drop=0.5");
+    FaultPlane a, b;
+    a.configure(pts, 1);
+    b.configure(pts, 2);
+    bool differ = false;
+    for (Tick t = 0; t < 256 && !differ; ++t) {
+        differ = a.dropMessage(FaultKind::NetDrop, t, 0) !=
+                 b.dropMessage(FaultKind::NetDrop, t, 0);
+    }
+    EXPECT_TRUE(differ);
+}
+
+TEST(FaultPlane, RateZeroAndOneAreExact)
+{
+    FaultPlane never, always;
+    never.configure(parse("net.drop=0"), 7);
+    always.configure(parse("net.drop=1"), 7);
+    for (Tick t = 0; t < 500; ++t) {
+        EXPECT_FALSE(never.dropMessage(FaultKind::NetDrop, t, 0));
+        EXPECT_TRUE(always.dropMessage(FaultKind::NetDrop, t, 0));
+    }
+}
+
+TEST(FaultPlane, GenericDropCoversProtocolKinds)
+{
+    FaultPlane fp;
+    fp.configure(parse("net.drop=1"), 3);
+    EXPECT_TRUE(fp.dropMessage(FaultKind::ArbGrantLoss, 0, 4));
+    EXPECT_TRUE(fp.dropMessage(FaultKind::DirCommitLoss, 0, 2));
+    // ...but a protocol-specific point does not leak the other way.
+    FaultPlane fp2;
+    fp2.configure(parse("arb.grant_loss=1"), 3);
+    EXPECT_FALSE(fp2.dropMessage(FaultKind::NetDrop, 0, 0));
+    EXPECT_TRUE(fp2.dropMessage(FaultKind::ArbGrantLoss, 0, 4));
+}
+
+TEST(FaultPlane, ClassScopeFilters)
+{
+    FaultPlane fp;
+    fp.configure(parse("net.drop/WrSig=1"), 9);
+    EXPECT_TRUE(fp.dropMessage(FaultKind::NetDrop, 0, 2));  // WrSig
+    EXPECT_FALSE(fp.dropMessage(FaultKind::NetDrop, 0, 0)); // RdWr
+}
+
+TEST(FaultPlane, TickWindowFilters)
+{
+    FaultPlane fp;
+    fp.configure(parse("net.drop=1@100:200"), 9);
+    EXPECT_FALSE(fp.dropMessage(FaultKind::NetDrop, 99, 0));
+    EXPECT_TRUE(fp.dropMessage(FaultKind::NetDrop, 100, 0));
+    EXPECT_TRUE(fp.dropMessage(FaultKind::NetDrop, 199, 0));
+    EXPECT_FALSE(fp.dropMessage(FaultKind::NetDrop, 200, 0));
+}
+
+TEST(FaultPlane, DelayStaysWithinBounds)
+{
+    FaultPlane fp;
+    fp.configure(parse("net.delay=10:50"), 11);
+    for (Tick t = 0; t < 500; ++t) {
+        Tick d = fp.extraDelay(t, 0);
+        EXPECT_GE(d, 10u);
+        EXPECT_LE(d, 50u);
+    }
+}
+
+TEST(FaultPlane, SkipCollisionPeriodic)
+{
+    FaultPlane fp;
+    fp.configure(parse("arb.skip_collision=3"), 1);
+    unsigned fired = 0;
+    for (unsigned i = 0; i < 9; ++i) {
+        if (fp.skipCollision())
+            ++fired;
+    }
+    EXPECT_EQ(fired, 3u); // every 3rd opportunity
+    // No point configured: never fires.
+    FaultPlane none;
+    none.configure({}, 1);
+    EXPECT_FALSE(none.skipCollision());
+}
+
+TEST(FaultPlane, RequiresHardeningOnlyForLossAndDup)
+{
+    FaultPlane delay_only, lossy, skip_only;
+    delay_only.configure(parse("net.delay=1:100"), 1);
+    lossy.configure(parse("arb.grant_loss=0.01"), 1);
+    skip_only.configure(parse("arb.skip_collision=7"), 1);
+    EXPECT_FALSE(delay_only.requiresHardening());
+    EXPECT_TRUE(lossy.requiresHardening());
+    EXPECT_FALSE(skip_only.requiresHardening());
+    EXPECT_TRUE(delay_only.active());
+}
+
+TEST(FaultPlane, StatsCountOpportunitiesAndInjections)
+{
+    FaultPlane fp;
+    fp.configure(parse("net.drop=0.5"), 99);
+    for (Tick t = 0; t < 100; ++t)
+        fp.dropMessage(FaultKind::NetDrop, t, 0);
+    StatGroup sg;
+    fp.dumpStats(sg, "faults.");
+    EXPECT_EQ(sg.get("faults.net.drop.opportunities"), 100.0);
+    double inj = sg.get("faults.net.drop.injected");
+    EXPECT_GT(inj, 0.0);
+    EXPECT_LT(inj, 100.0);
+    EXPECT_EQ(inj, static_cast<double>(
+                       fp.injectedCount(FaultKind::NetDrop)));
+}
+
+} // namespace
+} // namespace bulksc

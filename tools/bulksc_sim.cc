@@ -163,10 +163,30 @@ main(int argc, char **argv)
     bool sc_fail = (rep && !rep->verified()) ||
                    (eng && !eng->scOk()) || litmus_forbidden;
     bool races_found = eng && eng->raceCount() > 0;
+    // Distinct exit code per watchdog verdict so fault campaigns can
+    // tell a livelock from a wedged protocol without parsing output.
+    int wd_rc = 0;
+    switch (res.watchdogVerdict) {
+      case WatchdogVerdict::Livelock:
+        wd_rc = 10;
+        break;
+      case WatchdogVerdict::Starvation:
+        wd_rc = 11;
+        break;
+      case WatchdogVerdict::Deadlock:
+        wd_rc = 12;
+        break;
+      default:
+        break;
+    }
     int rc = sc_fail         ? 3
              : races_found   ? 4
+             : wd_rc         ? wd_rc
              : res.completed ? 0
                              : 2;
+
+    if (wd_rc)
+        std::fputs(res.watchdogReport.c_str(), stderr);
 
     if (!opts.traceOut.empty()) {
         const EventTrace &et = EventTrace::instance();
@@ -189,6 +209,8 @@ main(int argc, char **argv)
                     modelName(cfg.model),
                     jsonEscape(app.name).c_str(), cfg.numProcs,
                     res.completed ? "true" : "false");
+        std::printf(",\n  \"watchdog\": \"%s\"",
+                    watchdogVerdictName(res.watchdogVerdict));
         if (litmus.allowedSC) {
             std::printf(",\n  \"litmus_sc_ok\": %s",
                         litmus_forbidden ? "false" : "true");
@@ -257,6 +279,10 @@ main(int argc, char **argv)
     std::printf("completed=%s exec_time=%llu cycles\n",
                 res.completed ? "yes" : "NO",
                 static_cast<unsigned long long>(res.execTime));
+    if (res.watchdogVerdict != WatchdogVerdict::None) {
+        std::printf("watchdog: %s\n",
+                    watchdogVerdictName(res.watchdogVerdict));
+    }
     if (litmus.allowedSC) {
         std::printf("litmus %s: outcome %s under SC\n",
                     litmus.name.c_str(),
