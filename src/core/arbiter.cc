@@ -1,6 +1,7 @@
 #include "core/arbiter.hh"
 
 #include "sim/event_trace.hh"
+#include "sim/rng.hh"
 #include "sim/logging.hh"
 #include "sim/trace_log.hh"
 
@@ -37,12 +38,15 @@ Arbiter::collides(const Signature &s) const
 
 void
 Arbiter::concludeAndReply(ProcId p, bool ok,
-                          const std::function<void(bool)> &reply)
+                          const std::function<void(bool)> &reply,
+                          std::shared_ptr<Signature> w)
 {
     TxnRecord &rec = txns[p];
     rec.decided = true;
     rec.ok = ok;
 
+    MsgFootprint fp;
+    fp.wsig = std::move(w);
     if (faults &&
         faults->dropMessage(FaultKind::ArbGrantLoss, curTick(),
                             static_cast<int>(TrafficClass::Other))) {
@@ -52,16 +56,16 @@ Arbiter::concludeAndReply(ProcId p, bool ok,
                     static_cast<std::uint64_t>(
                         FaultKind::ArbGrantLoss));
         // The bits still travel; the message just never arrives.
-        net.send(node, p, TrafficClass::Other, 8, [] {});
+        net.send(node, p, TrafficClass::Other, 8, [] {}, fp);
     } else {
         net.send(node, p, TrafficClass::Other, 8,
-                 [reply, ok] { reply(ok); });
+                 [reply, ok] { reply(ok); }, fp);
     }
     if (faults &&
         faults->duplicateMessage(
             curTick(), static_cast<int>(TrafficClass::Other))) {
         net.send(node, p, TrafficClass::Other, 8,
-                 [reply, ok] { reply(ok); });
+                 [reply, ok] { reply(ok); }, fp);
     }
 }
 
@@ -95,8 +99,11 @@ Arbiter::requestCommit(ProcId p, std::uint64_t txn,
     std::shared_ptr<Signature> upfront_r;
     if (!rsigOpt) {
         upfront_r = r_provider();
+        MsgFootprint rfp;
+        rfp.rsig = upfront_r;
         net.send(p, node, TrafficClass::RdSig,
-                 upfront_r ? upfront_r->compressedBits() : 16, [] {});
+                 upfront_r ? upfront_r->compressedBits() : 16, [] {},
+                 rfp);
     }
 
     if (faults &&
@@ -120,8 +127,8 @@ Arbiter::requestCommit(ProcId p, std::uint64_t txn,
             ++stats_.denials;
             EVENT_TRACE(TraceEventType::ArbDecision, curTick(),
                         trackArb(0), 0, wList.size(), 0);
-            eventq.scheduleAfter(processing, [this, p, reply] {
-                concludeAndReply(p, false, reply);
+            eventq.scheduleAfter(processing, [this, p, w, reply] {
+                concludeAndReply(p, false, reply, w);
             });
             return;
         }
@@ -131,11 +138,14 @@ Arbiter::requestCommit(ProcId p, std::uint64_t txn,
         decide(p, w, upfront_r, r_provider, std::move(reply));
     };
 
-    net.send(p, node, TrafficClass::WrSig, bits, deliver);
+    MsgFootprint reqFp;
+    reqFp.wsig = w;
+    reqFp.rsig = upfront_r;
+    net.send(p, node, TrafficClass::WrSig, bits, deliver, reqFp);
     if (faults &&
         faults->duplicateMessage(
             curTick(), static_cast<int>(TrafficClass::WrSig))) {
-        net.send(p, node, TrafficClass::WrSig, bits, deliver);
+        net.send(p, node, TrafficClass::WrSig, bits, deliver, reqFp);
     }
 }
 
@@ -171,7 +181,7 @@ Arbiter::decide(ProcId p, const std::shared_ptr<Signature> &w,
                 ++stats_.denials;
             }
             tryActivatePreArb();
-            concludeAndReply(p, ok, reply);
+            concludeAndReply(p, ok, reply, w_);
         };
 
         if (wList.empty()) {
@@ -190,14 +200,17 @@ Arbiter::decide(ProcId p, const std::shared_ptr<Signature> &w,
                     EVENT_TRACE(TraceEventType::ArbDecision, curTick(),
                                 trackArb(0), 0, wList.size(), 0);
                     tryActivatePreArb();
-                    concludeAndReply(p, false, reply);
+                    concludeAndReply(p, false, reply, w);
                     return;
                 }
+                MsgFootprint rfp;
+                rfp.rsig = fetched;
                 net.send(p, node, TrafficClass::RdSig,
                          fetched->compressedBits(),
                          [this, p, w, fetched, r_provider, reply] {
-                    decide(p, w, fetched, r_provider, reply);
-                });
+                             decide(p, w, fetched, r_provider, reply);
+                         },
+                         rfp);
             });
             return;
         }
@@ -256,6 +269,28 @@ Arbiter::tryActivatePreArb()
     preArbOwner = p;
     net.send(node, p, TrafficClass::Other, 8,
              [granted = std::move(granted)] { granted(); });
+}
+
+std::uint64_t
+Arbiter::fingerprint() const
+{
+    std::uint64_t h = mix64(0x415242ULL); // "ARB"
+    std::uint64_t wl = 0;
+    for (const auto &w : wList)
+        wl += mix64(w->hash());
+    h = mix64(h ^ wl);
+    std::uint64_t tc = 0;
+    for (const auto &[p, rec] : txns) {
+        tc += mix64(mix64(p) ^ rec.txn ^
+                    (std::uint64_t{rec.decided} << 62) ^
+                    (std::uint64_t{rec.ok} << 61));
+    }
+    h = mix64(h ^ tc);
+    h = mix64(h ^ preArbOwner);
+    std::uint64_t pq = 0x9; // non-zero so an empty queue still folds
+    for (const auto &e : preArbQueue)
+        pq = mix64(pq ^ e.first);
+    return mix64(h ^ pq);
 }
 
 } // namespace bulksc

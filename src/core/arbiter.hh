@@ -123,6 +123,10 @@ class ArbiterIface
                               std::function<void()> granted) = 0;
 
     virtual const ArbiterStats &stats() const = 0;
+
+    /** Digest of the arbiter's protocol state (W list, decision
+     *  cache, pre-arbitration) for explorer revisit pruning. */
+    virtual std::uint64_t fingerprint() const { return 0; }
 };
 
 /** The single (or combined-with-directory) arbiter of Section 4.2.1. */
@@ -159,6 +163,8 @@ class Arbiter : public SimObject, public ArbiterIface
 
     const ArbiterStats &stats() const override { return stats_; }
 
+    std::uint64_t fingerprint() const override;
+
     std::size_t pendingW() const { return wList.size(); }
 
   private:
@@ -176,9 +182,13 @@ class Arbiter : public SimObject, public ArbiterIface
     /**
      * Record the decision for the processor's current transaction and
      * send the reply (subject to grant-loss / duplication injection).
+     * @p w is the decided chunk's W signature; it rides along as the
+     * reply's footprint so the schedule explorer can commute replies
+     * to different processors (null = unknown, ordered pessimally).
      */
     void concludeAndReply(ProcId p, bool ok,
-                          const std::function<void(bool)> &reply);
+                          const std::function<void(bool)> &reply,
+                          std::shared_ptr<Signature> w = nullptr);
 
     /**
      * Idempotence filter at request delivery. @return true iff the

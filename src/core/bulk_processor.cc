@@ -481,12 +481,9 @@ BulkProcessor::resendDelay(std::uint64_t txn, unsigned attempts) const
     Tick base = bprm.resendTimeout << shift;
     if (base > bprm.resendTimeoutCap)
         base = bprm.resendTimeoutCap;
-    Tick jitter_span = base / 2;
-    if (jitter_span == 0)
-        return base;
-    std::uint64_t u = mix64((static_cast<std::uint64_t>(pid) << 48) ^
-                            (txn << 8) ^ attempts);
-    return base - jitter_span / 2 + (u % jitter_span);
+    return jitteredBackoff(base,
+                           (static_cast<std::uint64_t>(pid) << 48) ^
+                               (txn << 8) ^ attempts);
 }
 
 void
@@ -709,6 +706,52 @@ BulkProcessor::chunkStateDump() const
            << "\n";
     }
     return os.str();
+}
+
+std::uint64_t
+BulkProcessor::fingerprint() const
+{
+    std::uint64_t h = ProcessorBase::fingerprint();
+    h = mix64(h ^ nextSeq);
+    h = mix64(h ^ consecutiveSquashes);
+    h = mix64(h ^ nextArbTxn);
+    h = mix64(h ^ (std::uint64_t{preArbPending} << 1) ^
+              (std::uint64_t{preArbWaiting} << 2) ^
+              (std::uint64_t{syncBusy} << 3));
+    h = mix64(h ^ committingCount);
+    h = mix64(h ^ txnDepth);
+    // Chunks are ordered (a deque), so a chained fold is fine.
+    for (const auto &c : chunks) {
+        std::uint64_t ch = mix64(c->seq);
+        ch = mix64(ch ^ c->startPos);
+        ch = mix64(ch ^ c->targetSize);
+        ch = mix64(ch ^ c->execInstrs);
+        ch = mix64(ch ^ (std::uint64_t{c->endReached} << 1) ^
+                   (std::uint64_t{c->arbitrating} << 2));
+        ch = mix64(ch ^ c->pendingFwd);
+        ch = mix64(ch ^ c->inflightLoads);
+        ch = mix64(ch ^ c->r.hash());
+        ch = mix64(ch ^ c->w.hash());
+        ch = mix64(ch ^ c->wpriv.hash());
+        // Unordered containers fold commutatively.
+        std::uint64_t sv = 0;
+        for (const auto &[a, v] : c->specValues)
+            sv += mix64(mix64(a) ^ v);
+        ch = mix64(ch ^ sv);
+        std::uint64_t os_ = 0;
+        for (LineAddr l : c->outstandingStoreLines)
+            os_ += mix64(l);
+        ch = mix64(ch ^ os_);
+        h = mix64(h ^ ch);
+    }
+    for (const auto &e : window) {
+        h = mix64(h ^ e.opIdx ^ (e.chunkSeq << 20) ^
+                  (std::uint64_t{e.completed} << 63));
+    }
+    std::uint64_t at = 0;
+    for (const auto &[txn, att] : arbAttempts)
+        at += mix64(txn);
+    return mix64(h ^ at);
 }
 
 void

@@ -211,6 +211,8 @@ class BulkProcessor : public ProcessorBase
     /** One-line-per-chunk state dump for watchdog diagnostics. */
     std::string chunkStateDump() const;
 
+    std::uint64_t fingerprint() const override;
+
   protected:
     void advance() override;
 

@@ -4,6 +4,7 @@
 
 #include "sim/event_trace.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace bulksc {
 
@@ -78,8 +79,10 @@ DistributedArbiter::touchStats()
 void
 DistributedArbiter::sendReply(ProcId p, bool ok,
                               const std::function<void(bool)> &reply,
-                              NodeId from)
+                              NodeId from, std::shared_ptr<Signature> w)
 {
+    MsgFootprint fp;
+    fp.wsig = std::move(w);
     if (faults &&
         faults->dropMessage(FaultKind::ArbGrantLoss, curTick(),
                             static_cast<int>(TrafficClass::Other))) {
@@ -89,23 +92,24 @@ DistributedArbiter::sendReply(ProcId p, bool ok,
                     0,
                     static_cast<std::uint64_t>(
                         FaultKind::ArbGrantLoss));
-        net.send(from, p, TrafficClass::Other, 8, [] {});
+        net.send(from, p, TrafficClass::Other, 8, [] {}, fp);
     } else {
         net.send(from, p, TrafficClass::Other, 8,
-                 [reply, ok] { reply(ok); });
+                 [reply, ok] { reply(ok); }, fp);
     }
     if (faults &&
         faults->duplicateMessage(
             curTick(), static_cast<int>(TrafficClass::Other))) {
         net.send(from, p, TrafficClass::Other, 8,
-                 [reply, ok] { reply(ok); });
+                 [reply, ok] { reply(ok); }, fp);
     }
 }
 
 void
 DistributedArbiter::finishDecision(ProcId p, bool ok,
                                    std::function<void(bool)> reply,
-                                   NodeId from)
+                                   NodeId from,
+                                   std::shared_ptr<Signature> w)
 {
     TxnRecord &rec = txns[p];
     rec.decided = true;
@@ -117,7 +121,7 @@ DistributedArbiter::finishDecision(ProcId p, bool ok,
     EVENT_TRACE(TraceEventType::ArbDecision, curTick(),
                 trackArb(static_cast<unsigned>(from - firstNode)), 0,
                 activeTxns, ok ? 1 : 0);
-    sendReply(p, ok, reply, from);
+    sendReply(p, ok, reply, from, std::move(w));
 }
 
 void
@@ -136,7 +140,7 @@ DistributedArbiter::requestCommit(ProcId p, std::uint64_t txn,
     if (it != txns.end() && it->second.txn == txn) {
         ++stats_.dupRequests;
         if (it->second.decided)
-            sendReply(p, it->second.ok, reply, gnode);
+            sendReply(p, it->second.ok, reply, gnode, w);
         return;
     }
     txns[p] = TxnRecord{txn, false, false};
@@ -188,7 +192,7 @@ DistributedArbiter::requestCommit(ProcId p, std::uint64_t txn,
             ++stats_.requests;
             ++nSingle;
             if (preArbOwner != ~ProcId{0} && preArbOwner != p) {
-                finishDecision(p, false, reply, mnode);
+                finishDecision(p, false, reply, mnode, w);
                 return;
             }
             bool was_owner = preArbOwner == p;
@@ -222,7 +226,7 @@ DistributedArbiter::requestCommit(ProcId p, std::uint64_t txn,
                         preArbOwner = ~ProcId{0};
                         tryActivatePreArb();
                     }
-                    finishDecision(p, ok, reply, mnode);
+                    finishDecision(p, ok, reply, mnode, w);
                 });
         });
         return;
@@ -237,7 +241,7 @@ DistributedArbiter::requestCommit(ProcId p, std::uint64_t txn,
         ++stats_.requests;
         ++nMulti;
         if (preArbOwner != ~ProcId{0} && preArbOwner != p) {
-            finishDecision(p, false, reply, gnode);
+            finishDecision(p, false, reply, gnode, w);
             return;
         }
         bool was_owner = preArbOwner == p;
@@ -255,7 +259,7 @@ DistributedArbiter::requestCommit(ProcId p, std::uint64_t txn,
         if (g_collide) {
             if (was_owner)
                 tryActivatePreArb();
-            finishDecision(p, false, reply, gnode);
+            finishDecision(p, false, reply, gnode, w);
             return;
         }
 
@@ -310,7 +314,7 @@ DistributedArbiter::requestCommit(ProcId p, std::uint64_t txn,
                         }
                         if (was_owner)
                             tryActivatePreArb();
-                        finishDecision(p, *all_ok, reply, gnode);
+                        finishDecision(p, *all_ok, reply, gnode, w);
                     });
                 });
             });
@@ -366,6 +370,35 @@ DistributedArbiter::tryActivatePreArb()
     NodeId gnode = firstNode + static_cast<NodeId>(modules.size());
     net.send(gnode, p, TrafficClass::Other, 8,
              [granted = std::move(granted)] { granted(); });
+}
+
+std::uint64_t
+DistributedArbiter::fingerprint() const
+{
+    std::uint64_t h = mix64(0x444152ULL); // "DAR"
+    for (const Module &m : modules) {
+        std::uint64_t ml = 0;
+        for (const auto &w : m.wList)
+            ml += mix64(w->hash());
+        h = mix64(h ^ ml);
+    }
+    std::uint64_t gl = 0;
+    for (const auto &w : gList)
+        gl += mix64(w->hash());
+    h = mix64(h ^ gl);
+    std::uint64_t tc = 0;
+    for (const auto &[p, rec] : txns) {
+        tc += mix64(mix64(p) ^ rec.txn ^
+                    (std::uint64_t{rec.decided} << 62) ^
+                    (std::uint64_t{rec.ok} << 61));
+    }
+    h = mix64(h ^ tc);
+    h = mix64(h ^ activeTxns);
+    h = mix64(h ^ preArbOwner);
+    std::uint64_t pq = 0x9;
+    for (const auto &e : preArbQueue)
+        pq = mix64(pq ^ e.first);
+    return mix64(h ^ pq);
 }
 
 } // namespace bulksc

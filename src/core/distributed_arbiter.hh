@@ -53,6 +53,8 @@ class DistributedArbiter : public SimObject, public ArbiterIface
 
     const ArbiterStats &stats() const override { return stats_; }
 
+    std::uint64_t fingerprint() const override;
+
     /** Commits that involved a single arbiter module. */
     std::uint64_t singleRangeCommits() const { return nSingle; }
 
@@ -76,11 +78,15 @@ class DistributedArbiter : public SimObject, public ArbiterIface
                     const std::shared_ptr<Signature> &w);
 
     void finishDecision(ProcId p, bool ok,
-                        std::function<void(bool)> reply, NodeId from);
+                        std::function<void(bool)> reply, NodeId from,
+                        std::shared_ptr<Signature> w = nullptr);
 
-    /** Send a (possibly lost/duplicated) decision reply. */
+    /** Send a (possibly lost/duplicated) decision reply. @p w is the
+     *  decided chunk's W signature, attached as the message footprint
+     *  so the schedule explorer can commute independent replies. */
     void sendReply(ProcId p, bool ok,
-                   const std::function<void(bool)> &reply, NodeId from);
+                   const std::function<void(bool)> &reply, NodeId from,
+                   std::shared_ptr<Signature> w = nullptr);
 
     void touchStats();
     void tryActivatePreArb();

@@ -1,6 +1,7 @@
 #include "cpu/processor_base.hh"
 
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 #include "sim/trace_log.hh"
 
 namespace bulksc {
@@ -195,6 +196,18 @@ ProcessorBase::execSync(const Op &op, std::function<void()> done)
       default:
         panic("execSync called with non-sync op");
     }
+}
+
+std::uint64_t
+ProcessorBase::fingerprint() const
+{
+    std::uint64_t h = mix64(0x435055ULL); // "CPU"
+    h = mix64(h ^ pid);
+    h = mix64(h ^ pos);
+    h = mix64(h ^ (std::uint64_t{finishedFlag} << 1));
+    for (std::uint64_t v : results)
+        h = mix64(h ^ v);
+    return h;
 }
 
 } // namespace bulksc

@@ -100,6 +100,15 @@ class ProcessorBase : public SimObject, public CacheListener
     std::uint64_t squashes() const { return nSquashes; }
     std::uint64_t spinInstrs() const { return nSpin; }
 
+    /**
+     * Digest of the model-visible execution state (trace position,
+     * recorded load values, model-specific chunk machinery) for
+     * explorer revisit pruning. Timing state is excluded on purpose:
+     * two runs in "the same" protocol state at different ticks should
+     * fingerprint equal.
+     */
+    virtual std::uint64_t fingerprint() const;
+
   protected:
     /** Model-specific execution engine; re-entered on every wakeup. */
     virtual void advance() = 0;

@@ -1,0 +1,102 @@
+#include "explore/schedule.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace bulksc {
+
+Schedule
+Schedule::prefix(std::size_t len) const
+{
+    Schedule s;
+    if (len > choices.size())
+        len = choices.size();
+    s.choices.assign(choices.begin(),
+                     choices.begin() + static_cast<std::ptrdiff_t>(len));
+    return s;
+}
+
+std::string
+Schedule::str() const
+{
+    std::ostringstream os;
+    os << "# bulksc schedule v1\n";
+    for (const Choice &c : choices) {
+        os << (c.kind == ChoiceKind::Order ? 'O' : 'D') << ' '
+           << c.chosen << '/' << c.numOptions << '\n';
+    }
+    return os.str();
+}
+
+bool
+Schedule::save(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f << str();
+    return static_cast<bool>(f);
+}
+
+bool
+Schedule::parse(const std::string &text, std::string &err)
+{
+    choices.clear();
+    std::istringstream is(text);
+    std::string line;
+    std::size_t lineno = 0;
+    bool sawHeader = false;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            if (line.find("bulksc schedule") != std::string::npos)
+                sawHeader = true;
+            continue;
+        }
+        char kind = 0;
+        unsigned long chosen = 0, num = 0;
+        if (std::sscanf(line.c_str(), "%c %lu/%lu", &kind, &chosen,
+                        &num) != 3 ||
+            (kind != 'O' && kind != 'D')) {
+            err = "line " + std::to_string(lineno) +
+                  ": expected 'O c/n' or 'D c/n', got '" + line + "'";
+            return false;
+        }
+        if (num == 0 || chosen >= num) {
+            err = "line " + std::to_string(lineno) + ": choice " +
+                  std::to_string(chosen) + " out of range /" +
+                  std::to_string(num);
+            return false;
+        }
+        Choice c;
+        c.kind = kind == 'O' ? ChoiceKind::Order : ChoiceKind::Delay;
+        c.chosen = static_cast<std::uint32_t>(chosen);
+        c.numOptions = static_cast<std::uint32_t>(num);
+        choices.push_back(c);
+    }
+    if (!sawHeader && !choices.empty()) {
+        err = "missing '# bulksc schedule v1' header";
+        return false;
+    }
+    return true;
+}
+
+bool
+Schedule::load(const std::string &path, std::string &err)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream os;
+    os << f.rdbuf();
+    return parse(os.str(), err);
+}
+
+} // namespace bulksc

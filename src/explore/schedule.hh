@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Replayable schedules: the choice sequence a controlled run makes.
+ *
+ * A schedule is a flat list of decisions — batch-ordering picks and
+ * message-delay picks — in the order the kernel encountered them.
+ * Replaying a schedule against the same configuration reproduces the
+ * run exactly; replaying a *prefix* forces the recorded choices and
+ * falls back to the default (FIFO order, minimum delay) beyond it,
+ * which is still fully deterministic.
+ *
+ * The on-disk form is a line-oriented text file:
+ *
+ *   # bulksc schedule v1
+ *   O 2/6
+ *   D 1/3
+ *
+ * "O c/n" is a batch-ordering decision that picked candidate c of n;
+ * "D c/n" picked delay option c of n. Comments (#) and blank lines
+ * are ignored on load; save() emits a canonical form, so a loaded and
+ * re-saved schedule is byte-identical.
+ */
+
+#ifndef BULKSC_EXPLORE_SCHEDULE_HH
+#define BULKSC_EXPLORE_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bulksc {
+
+/** What kind of decision a choice resolves. */
+enum class ChoiceKind : std::uint8_t
+{
+    Order, //!< pick the next event among a same-tick tagged batch
+    Delay, //!< pick a message delay from a net.delay window
+};
+
+/** One resolved decision. */
+struct Choice
+{
+    ChoiceKind kind = ChoiceKind::Order;
+    std::uint32_t chosen = 0;     //!< option picked
+    std::uint32_t numOptions = 0; //!< domain size at the decision
+
+    bool
+    operator==(const Choice &o) const
+    {
+        return kind == o.kind && chosen == o.chosen &&
+               numOptions == o.numOptions;
+    }
+};
+
+/** A (possibly partial) choice sequence. */
+struct Schedule
+{
+    std::vector<Choice> choices;
+
+    bool empty() const { return choices.empty(); }
+    std::size_t size() const { return choices.size(); }
+
+    /** The first @p len choices as a new schedule. */
+    Schedule prefix(std::size_t len) const;
+
+    /** Canonical text form (the file format). */
+    std::string str() const;
+
+    /** Write the canonical text form; false on I/O error. */
+    bool save(const std::string &path) const;
+
+    /**
+     * Parse @p text (the file format). @return false and set @p err
+     * on malformed input.
+     */
+    bool parse(const std::string &text, std::string &err);
+
+    /** Load from @p path; false and @p err on I/O or parse errors. */
+    bool load(const std::string &path, std::string &err);
+
+    bool
+    operator==(const Schedule &o) const
+    {
+        return choices == o.choices;
+    }
+};
+
+} // namespace bulksc
+
+#endif // BULKSC_EXPLORE_SCHEDULE_HH

@@ -1,5 +1,7 @@
 #include "mem/cache_array.hh"
 
+#include "sim/rng.hh"
+
 namespace bulksc {
 
 CacheArray::CacheArray(const CacheGeometry &g)
@@ -147,6 +149,19 @@ CacheArray::forEach(const std::function<void(CacheLine &)> &fn)
         if (l.valid())
             fn(l);
     }
+}
+
+std::uint64_t
+CacheArray::fingerprint() const
+{
+    // Commutative fold so way placement within a set is irrelevant.
+    std::uint64_t h = 0;
+    for (const CacheLine &l : lines) {
+        if (!l.valid())
+            continue;
+        h += mix64(l.line * 4 + static_cast<std::uint64_t>(l.state));
+    }
+    return h;
 }
 
 } // namespace bulksc

@@ -95,6 +95,15 @@ class CacheArray
     std::uint64_t hits() const { return nHits; }
     std::uint64_t misses() const { return nMisses; }
 
+    /**
+     * Order-insensitive digest of the coherence-visible contents
+     * (valid lines and their states). LRU stamps and hit/miss
+     * counters are deliberately excluded: they are performance
+     * bookkeeping, and folding them in would make every explorer
+     * fingerprint unique, defeating revisit pruning.
+     */
+    std::uint64_t fingerprint() const;
+
   private:
     CacheLine *findWay(LineAddr line);
 

@@ -1,6 +1,7 @@
 #include "mem/directory.hh"
 
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace bulksc {
 
@@ -169,6 +170,20 @@ Directory::peek(LineAddr line) const
 {
     auto it = entries.find(line);
     return it == entries.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+Directory::fingerprint() const
+{
+    // Commutative fold over the unordered entry map.
+    std::uint64_t h = 0;
+    for (const auto &[line, e] : entries) {
+        std::uint64_t v = mix64(line);
+        v = mix64(v ^ e.sharers);
+        v = mix64(v ^ (std::uint64_t{e.dirty} << 32) ^ e.owner);
+        h += v;
+    }
+    return h;
 }
 
 } // namespace bulksc

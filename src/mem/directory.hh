@@ -133,6 +133,10 @@ class Directory
     /** @return number of directory entries currently allocated. */
     std::size_t entryCount() const { return entries.size(); }
 
+    /** Order-insensitive digest of the directory state (per-line
+     *  sharer vectors and dirty/owner), for explorer fingerprints. */
+    std::uint64_t fingerprint() const;
+
   private:
     DirEntry &getOrCreate(LineAddr line,
                           std::vector<DirDisplacement> &displaced);

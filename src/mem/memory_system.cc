@@ -9,6 +9,29 @@
 
 namespace bulksc {
 
+namespace {
+
+/** Footprint of a line-addressed coherence message (exploration). */
+MsgFootprint
+lineFp(LineAddr line)
+{
+    MsgFootprint fp;
+    fp.hasLine = true;
+    fp.line = line;
+    return fp;
+}
+
+/** Footprint of a W-signature-carrying message (exploration). */
+MsgFootprint
+wsigFp(std::shared_ptr<const Signature> w)
+{
+    MsgFootprint fp;
+    fp.wsig = std::move(w);
+    return fp;
+}
+
+} // namespace
+
 MemorySystem::MemorySystem(EventQueue &eq, Network &n,
                            const MemParams &params)
     : SimObject(eq, "memsys"), prm(params), net(n), l2(prm.l2)
@@ -111,7 +134,8 @@ MemorySystem::dispatchMiss(ProcId p, LineAddr line)
                  if (it == l1s[p].mshrs.end())
                      return; // stale (should not happen)
                  dirHandleRequest(p, line, it->second.cmd);
-             });
+             },
+             lineFp(line));
 }
 
 void
@@ -143,8 +167,10 @@ MemorySystem::sendInval(ProcId target, LineAddr line)
                  // Acknowledgement (latency folded into the requester's
                  // response time; traffic accounted here).
                  net.send(target, prm.numProcs + dirOf(line),
-                          TrafficClass::Inval, 16, [] {});
-             });
+                          TrafficClass::Inval, 16, [] {},
+                          lineFp(line));
+             },
+             lineFp(line));
 }
 
 void
@@ -236,7 +262,7 @@ MemorySystem::dirHandleRequest(ProcId p, LineAddr line, MemCmd cmd,
                 ++nWritebacks;
             dir.recordWriteback(line, owner);
             net.send(owner, prm.numProcs + d, TrafficClass::DataRdWr,
-                     256, [] {});
+                     256, [] {}, lineFp(line));
             lat = prm.l2Latency + 2 * net.latencyFor(256);
         } else {
             CacheLine *l2e = l2.lookup(line);
@@ -262,7 +288,8 @@ MemorySystem::dirHandleRequest(ProcId p, LineAddr line, MemCmd cmd,
                      if (mit == l1s[p].mshrs.end())
                          return;
                      finishFill(p, line, mit->second.cmd);
-                 });
+                 },
+                 lineFp(line));
     });
 }
 
@@ -294,7 +321,8 @@ MemorySystem::finishFill(ProcId p, LineAddr line, MemCmd cmd)
         if (vic->dirty) {
             ++nWritebacks;
             net.send(p, prm.numProcs + dirOf(vic->line),
-                     TrafficClass::DataRdWr, 256, [] {});
+                     TrafficClass::DataRdWr, 256, [] {},
+                     lineFp(vic->line));
             std::optional<Victim> l2vic;
             l2.insert(vic->line, LineState::Dirty, nullptr, l2vic);
             if (l2vic && l2vic->dirty)
@@ -306,7 +334,8 @@ MemorySystem::finishFill(ProcId p, LineAddr line, MemCmd cmd)
             // Replacement hint: keep the bit-vector precise so W
             // signatures are only forwarded to live sharers.
             net.send(p, prm.numProcs + dirOf(vic->line),
-                     TrafficClass::Other, 32, [] {});
+                     TrafficClass::Other, 32, [] {},
+                     lineFp(vic->line));
             dirs[dirOf(vic->line)]->dropSharer(vic->line, p);
         }
         if (c.listener)
@@ -360,7 +389,8 @@ MemorySystem::handleDirDisplacements(
                          if (l1s[q].listener)
                              l1s[q].listener->onRemoteWSig(*sig);
                          applyBulkInval(q, *sig, false);
-                     });
+                     },
+                     wsigFp(sig));
         }
     }
 }
@@ -420,7 +450,7 @@ MemorySystem::applyBulkInval(ProcId p, const Signature &w,
             // write it back before dropping the line.
             ++nWritebacks;
             net.send(p, prm.numProcs + dirOf(line),
-                     TrafficClass::DataRdWr, 256, [] {});
+                     TrafficClass::DataRdWr, 256, [] {}, lineFp(line));
             std::optional<Victim> vic;
             l2.insert(line, LineState::Dirty, nullptr, vic);
             if (vic && vic->dirty)
@@ -542,16 +572,16 @@ MemorySystem::sendCommitW(ProcId committer, unsigned d,
                     static_cast<std::uint64_t>(
                         FaultKind::DirCommitLoss));
         net.send(committer, prm.numProcs + d, TrafficClass::WrSig,
-                 txn->w->compressedBits(), [] {});
+                 txn->w->compressedBits(), [] {}, wsigFp(txn->w));
     } else {
         net.send(committer, prm.numProcs + d, TrafficClass::WrSig,
-                 txn->w->compressedBits(), deliver);
+                 txn->w->compressedBits(), deliver, wsigFp(txn->w));
     }
     if (faults &&
         faults->duplicateMessage(
             curTick(), static_cast<int>(TrafficClass::WrSig))) {
         net.send(committer, prm.numProcs + d, TrafficClass::WrSig,
-                 txn->w->compressedBits(), deliver);
+                 txn->w->compressedBits(), deliver, wsigFp(txn->w));
     }
 
     if (!prm.harden)
@@ -562,12 +592,8 @@ MemorySystem::sendCommitW(ProcId committer, unsigned d,
     if (delay > prm.resendTimeoutCap)
         delay = prm.resendTimeoutCap;
     // Deterministic jitter, as in the processors' resend chain.
-    Tick jitter_span = delay / 2;
-    if (jitter_span) {
-        std::uint64_t u = mix64((std::uint64_t{0xd1} << 56) ^
-                                (id << 8) ^ attempt);
-        delay = delay - jitter_span / 2 + (u % jitter_span);
-    }
+    delay = jitteredBackoff(delay, (std::uint64_t{0xd1} << 56) ^
+                                       (id << 8) ^ attempt);
     eventq.scheduleAfter(delay, [this, committer, d, txn, start, id,
                                  delivered, attempt] {
         if (*delivered)
@@ -628,11 +654,14 @@ MemorySystem::dirHandleCommit(unsigned dir_idx, ProcId committer,
                              l1s[q].listener->onRemoteWSig(*txn->w);
                          applyBulkInval(q, *txn->w, false);
                          net.send(q, prm.numProcs + dir_idx,
-                                  TrafficClass::Inval, 16, [txn] {
+                                  TrafficClass::Inval, 16,
+                                  [txn] {
                                       if (--txn->acksPending == 0)
                                           txn->onDone();
-                                  });
-                     });
+                                  },
+                                  wsigFp(txn->w));
+                     },
+                     wsigFp(txn->w));
         }
     });
 }
@@ -642,7 +671,7 @@ MemorySystem::writebackLine(ProcId p, LineAddr line)
 {
     ++nWritebacks;
     net.send(p, prm.numProcs + dirOf(line), TrafficClass::DataRdWr, 256,
-             [] {});
+             [] {}, lineFp(line));
     std::optional<Victim> vic;
     l2.insert(line, LineState::Dirty, nullptr, vic);
     if (vic && vic->dirty)
@@ -793,6 +822,41 @@ MemorySystem::dumpStats(StatGroup &sg, const std::string &prefix) const
                static_cast<double>(nCommitAbandoned));
         sg.set(prefix + "dir_nacks", static_cast<double>(nDirNacks));
     }
+}
+
+std::uint64_t
+MemorySystem::fingerprint() const
+{
+    std::uint64_t h = mix64(0x4d454dULL); // "MEM"
+    for (std::size_t p = 0; p < l1s.size(); ++p) {
+        const L1 &l1 = l1s[p];
+        h = mix64(h ^ l1.array.fingerprint());
+        // MSHR and pending-queue membership, order-insensitively.
+        std::uint64_t m = 0;
+        for (const auto &[line, mshr] : l1.mshrs)
+            m += mix64(line ^ (std::uint64_t{mshr.dispatched} << 60));
+        for (const auto &qm : l1.queuedMshrs)
+            m += mix64(mix64(qm.first) ^ 0x71);
+        for (const auto &[line, cmd] : l1.pendingQueue)
+            m += mix64(line ^ (static_cast<std::uint64_t>(cmd) << 56));
+        h = mix64(h ^ m);
+    }
+    h = mix64(h ^ l2.fingerprint());
+    std::uint64_t d = 0;
+    for (const auto &dir : dirs)
+        d = mix64(d ^ dir->fingerprint());
+    h = mix64(h ^ d);
+    std::uint64_t c = 0;
+    for (const auto &sigs : committingSigs) {
+        for (const auto &w : sigs)
+            c += mix64(w->hash());
+        c = mix64(c);
+    }
+    h = mix64(h ^ c);
+    std::uint64_t v = 0;
+    for (const auto &[addr, val] : values)
+        v += mix64(mix64(addr) ^ val);
+    return mix64(h ^ v);
 }
 
 } // namespace bulksc

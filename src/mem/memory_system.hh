@@ -245,6 +245,15 @@ class MemorySystem : public SimObject
     /** Dump aggregate statistics into @p sg under @p prefix. */
     void dumpStats(StatGroup &sg, const std::string &prefix = "mem.") const;
 
+    /**
+     * Digest of the protocol-visible memory-system state: L1/L2
+     * contents, outstanding MSHRs, directory entries, in-flight commit
+     * signatures, and the committed value store. Performance counters
+     * and timing state are excluded (see CacheArray::fingerprint).
+     * Feeds System::stateFingerprint() for explorer revisit pruning.
+     */
+    std::uint64_t fingerprint() const;
+
     // --- aggregate stats, exposed for benches/tests ---
     std::uint64_t l1Hits() const;
     std::uint64_t l1Misses() const;

@@ -36,21 +36,44 @@ Network::Network(EventQueue &eq, const NetworkConfig &c)
 
 void
 Network::send(NodeId src, NodeId dst, TrafficClass cls, unsigned bits,
-              EventQueue::Callback deliver)
+              EventQueue::Callback deliver, const MsgFootprint &fp)
 {
-    (void)src;
     classBits[static_cast<unsigned>(cls)] += bits + headerBits;
     ++msgCount;
 
     Tick extra = 0;
     if (faults && faults->active()) {
-        extra = faults->extraDelay(curTick(),
-                                   static_cast<int>(cls));
+        if (ctrl) {
+            // Under exploration the delay window is a choice domain,
+            // not a seeded roll: the controller picks from [lo, hi].
+            Tick lo = 0, hi = 0;
+            if (faults->delayWindow(curTick(), static_cast<int>(cls),
+                                    lo, hi)) {
+                extra = ctrl->chooseDelay(
+                    curTick(), static_cast<int>(cls), lo, hi);
+            }
+        } else {
+            extra = faults->extraDelay(curTick(),
+                                       static_cast<int>(cls));
+        }
+    }
+
+    std::uint32_t tag = ScheduleController::kNoTag;
+    if (ctrl) {
+        EventFootprint ef;
+        ef.src = src;
+        ef.dst = dst;
+        ef.cls = static_cast<int>(cls);
+        ef.hasLine = fp.hasLine;
+        ef.line = fp.line;
+        ef.rsig = fp.rsig;
+        ef.wsig = fp.wsig;
+        tag = ctrl->registerEvent(ef);
     }
 
     if (!cfg.modelContention) {
-        eventq.scheduleAfter(latencyFor(bits) + extra,
-                             std::move(deliver));
+        eventq.scheduleTagged(curTick() + latencyFor(bits) + extra,
+                              tag, std::move(deliver));
         return;
     }
 
@@ -65,7 +88,7 @@ Network::send(NodeId src, NodeId dst, TrafficClass cls, unsigned bits,
     Tick start = arrive > busy ? arrive : busy;
     queuedCycles += start - arrive;
     busy = start + ser;
-    eventq.schedule(busy, std::move(deliver));
+    eventq.scheduleTagged(busy, tag, std::move(deliver));
 }
 
 std::uint64_t

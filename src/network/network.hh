@@ -16,11 +16,13 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "sim/event_queue.hh"
 #include "sim/fault_plane.hh"
+#include "sim/schedule_controller.hh"
 #include "sim/types.hh"
 
 namespace bulksc {
@@ -59,6 +61,19 @@ struct NetworkConfig
 };
 
 /**
+ * Address/signature footprint a message carries, for the schedule
+ * controller's independence oracle. Default-constructed = unknown
+ * footprint (conservatively dependent on everything).
+ */
+struct MsgFootprint
+{
+    bool hasLine = false;
+    LineAddr line = 0;
+    std::shared_ptr<const Signature> rsig;
+    std::shared_ptr<const Signature> wsig;
+};
+
+/**
  * The interconnect. Messages are delivered by invoking a callback after
  * the modelled latency; bytes are accounted per traffic class.
  */
@@ -75,9 +90,12 @@ class Network : public SimObject
      * @param cls Traffic class for bandwidth accounting.
      * @param bits Payload size in bits (header added internally).
      * @param deliver Invoked at the delivery tick.
+     * @param fp What the message carries (explorer independence
+     *        oracle); only examined when a controller is attached.
      */
     void send(NodeId src, NodeId dst, TrafficClass cls, unsigned bits,
-              EventQueue::Callback deliver);
+              EventQueue::Callback deliver,
+              const MsgFootprint &fp = MsgFootprint{});
 
     /**
      * Attach the fault plane. Only net.delay is applied here (uniform
@@ -86,6 +104,13 @@ class Network : public SimObject
      * layers, which own the retransmission machinery.
      */
     void setFaultPlane(FaultPlane *fp) { faults = fp; }
+
+    /**
+     * Attach the schedule controller: every delivery is registered
+     * with its footprint and scheduled tagged, and active net.delay
+     * windows become controller delay choices instead of seeded rolls.
+     */
+    void setScheduleController(ScheduleController *c) { ctrl = c; }
 
     /** Latency a message of @p bits would experience. */
     Tick
@@ -116,6 +141,7 @@ class Network : public SimObject
 
     NetworkConfig cfg;
     FaultPlane *faults = nullptr;
+    ScheduleController *ctrl = nullptr;
     std::array<std::uint64_t,
                static_cast<unsigned>(TrafficClass::NumClasses)>
         classBits{};

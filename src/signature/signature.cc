@@ -230,6 +230,15 @@ Signature::popCount() const
     return n;
 }
 
+std::uint64_t
+Signature::hash() const
+{
+    std::uint64_t h = 0x5349'47'42'4cULL; // "SIGBL"
+    for (std::uint64_t w : bits)
+        h = mix64(h ^ w);
+    return h;
+}
+
 unsigned
 Signature::compressedBits() const
 {

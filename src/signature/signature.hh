@@ -136,6 +136,11 @@ class Signature
     /** Number of bits set across all banks (Bloom occupancy). */
     unsigned popCount() const;
 
+    /** 64-bit digest of the Bloom bit array (explorer state
+     *  fingerprinting). Equal signatures hash equal; the exact mirror
+     *  does not participate (it never travels on the wire). */
+    std::uint64_t hash() const;
+
     /** Raw bank-bit access (used by the wire codec). */
     bool bitSet(unsigned bank, std::uint32_t idx) const;
 

@@ -3,7 +3,52 @@
 #include <algorithm>
 #include <bit>
 
+#include "sim/schedule_controller.hh"
+
 namespace bulksc {
+
+static_assert(EventQueue::kUntagged == ScheduleController::kNoTag,
+              "kernel and controller no-tag sentinels out of sync");
+
+void
+EventQueue::setController(ScheduleController *c)
+{
+    panic_if(c && !empty(),
+             "attach the schedule controller before scheduling events");
+    ctrl = c;
+    stagedTag = kUntagged;
+    for (auto &tags : wheelTags)
+        tags.clear();
+    curTags.clear();
+}
+
+void
+EventQueue::applyControl(std::size_t idx)
+{
+    curTags.clear();
+    curTags.swap(wheelTags[idx]);
+    // Events scheduled before the controller attached have no mirror
+    // entry; pad them as untagged so the vectors stay parallel.
+    curTags.resize(cur.size(), kUntagged);
+
+    ctrlOrder.clear();
+    ctrl->orderBatch(_now, curTags, ctrlOrder);
+    if (ctrlOrder.empty())
+        return; // FIFO
+    panic_if(ctrlOrder.size() != cur.size(),
+             "controller returned a non-permutation: ",
+             ctrlOrder.size(), " of ", cur.size());
+
+    ctrlScratch.clear();
+    ctrlTagScratch.clear();
+    for (std::uint32_t i : ctrlOrder) {
+        ctrlScratch.emplace_back(std::move(cur[i]));
+        ctrlTagScratch.push_back(curTags[i]);
+    }
+    cur.swap(ctrlScratch);
+    curTags.swap(ctrlTagScratch);
+    ctrlScratch.clear(); // destroy the moved-from shells
+}
 
 std::vector<EventQueue::Callback> &
 EventQueue::farBatch(Tick when)

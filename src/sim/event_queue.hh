@@ -36,6 +36,8 @@
 
 namespace bulksc {
 
+class ScheduleController;
+
 /**
  * The central event queue. All timed behaviour in the simulator is
  * expressed as callbacks scheduled on an instance of this class.
@@ -44,6 +46,10 @@ class EventQueue
 {
   public:
     using Callback = InlineCallback;
+
+    /** Tag of events that are not schedulable choices (must equal
+     *  ScheduleController::kNoTag; static_assert'd in the .cc). */
+    static constexpr std::uint32_t kUntagged = ~std::uint32_t{0};
 
     /** Wheel span in ticks (power of two). Covers every latency the
      *  machine model schedules on its hot path (memory round trip 300,
@@ -78,8 +84,14 @@ class EventQueue
             std::size_t idx = static_cast<std::size_t>(when) & kMask;
             wheel[idx].emplace_back(std::forward<F>(f));
             markBucket(idx);
+            if (ctrl) [[unlikely]] {
+                wheelTags[idx].push_back(stagedTag);
+                stagedTag = kUntagged;
+            }
         } else {
             farBatch(when).emplace_back(std::forward<F>(f));
+            // Far events are never reorderable choices.
+            stagedTag = kUntagged;
         }
     }
 
@@ -92,6 +104,30 @@ class EventQueue
     {
         schedule(_now + delta, std::forward<F>(f));
     }
+
+    /**
+     * Schedule a callback carrying a controller tag: if a controller
+     * is attached and the event lands on the wheel, its batch becomes
+     * a choice point the controller may permute. Without a controller
+     * this is exactly schedule().
+     */
+    template <typename F>
+    void
+    scheduleTagged(Tick when, std::uint32_t tag, F &&f)
+    {
+        stagedTag = tag;
+        schedule(when, std::forward<F>(f));
+    }
+
+    /**
+     * Attach (or detach, with nullptr) a schedule controller. Must be
+     * called while the queue is empty — tag bookkeeping only mirrors
+     * events scheduled afterwards.
+     */
+    void setController(ScheduleController *c);
+
+    /** The attached controller, or nullptr. */
+    ScheduleController *controller() const { return ctrl; }
 
     /** @return true if no events remain. */
     bool
@@ -163,6 +199,8 @@ class EventQueue
         _now = t;
         if (farNext <= tw) [[unlikely]] {
             pullFar();
+            if (ctrl) [[unlikely]]
+                curTags.assign(cur.size(), kUntagged);
         } else {
             // Swap the due bucket out whole; same-tick events
             // appended by a firing callback land in the (emptied)
@@ -171,6 +209,8 @@ class EventQueue
             std::size_t idx = static_cast<std::size_t>(t) & kMask;
             cur.swap(wheel[idx]);
             clearBucket(idx);
+            if (ctrl) [[unlikely]]
+                applyControl(idx);
         }
         curHead = 0;
         return true;
@@ -179,6 +219,10 @@ class EventQueue
     /** Move the earliest far batch into cur, recycling cur's storage
      *  through the spare slot. */
     void pullFar();
+
+    /** Controlled mode: sync curTags with the freshly pulled bucket
+     *  @p idx and let the controller permute the batch. */
+    void applyControl(std::size_t idx);
 
     void
     markBucket(std::size_t idx)
@@ -232,6 +276,24 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t fired = 0;
     bool stopRequested = false;
+
+    // --- schedule-controller plumbing (inert unless ctrl is set) ---
+
+    ScheduleController *ctrl = nullptr;
+
+    /** Tag staged by scheduleTagged() for the next schedule() call. */
+    std::uint32_t stagedTag = kUntagged;
+
+    /** Per-bucket tag vectors mirroring wheel[] (controlled mode). */
+    std::array<std::vector<std::uint32_t>, kHorizon> wheelTags;
+
+    /** Tags mirroring cur (controlled mode). */
+    std::vector<std::uint32_t> curTags;
+
+    /** Permutation scratch, reused across batches. */
+    std::vector<std::uint32_t> ctrlOrder;
+    std::vector<Callback> ctrlScratch;
+    std::vector<std::uint32_t> ctrlTagScratch;
 };
 
 /**

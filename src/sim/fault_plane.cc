@@ -72,13 +72,6 @@ fmtRate(double r)
     return buf;
 }
 
-/** Map a mix64 output to a uniform double in [0, 1). */
-double
-toUniform(std::uint64_t u)
-{
-    return static_cast<double>(u >> 11) * 0x1.0p-53;
-}
-
 } // namespace
 
 const char *
@@ -324,9 +317,9 @@ FaultPlane::roll(const FaultPoint &pt, FaultKind counterKind)
 {
     unsigned ki = static_cast<unsigned>(counterKind);
     std::uint64_t n = ++counters_[ki];
-    std::uint64_t u = mix64(
-        seed_ ^ mix64((static_cast<std::uint64_t>(ki) << 56) ^ n));
-    return toUniform(u) < pt.rate;
+    std::uint64_t u = deriveSeed(
+        seed_, (static_cast<std::uint64_t>(ki) << 56) ^ n);
+    return u01(u) < pt.rate;
 }
 
 bool
@@ -378,15 +371,28 @@ FaultPlane::extraDelay(Tick now, int cls)
             continue;
         ++opportunities_[ki];
         std::uint64_t n = ++counters_[ki];
-        std::uint64_t u = mix64(
-            seed_ ^ mix64((static_cast<std::uint64_t>(ki) << 56) ^ n));
-        if (toUniform(u) >= pt.rate)
+        std::uint64_t u = deriveSeed(
+            seed_, (static_cast<std::uint64_t>(ki) << 56) ^ n);
+        if (u01(u) >= pt.rate)
             continue;
         Tick span = pt.delayMax - pt.delayMin + 1;
         extra += pt.delayMin + static_cast<Tick>(mix64(u) % span);
         ++injected_[ki];
     }
     return extra;
+}
+
+bool
+FaultPlane::delayWindow(Tick now, int cls, Tick &lo, Tick &hi) const
+{
+    for (const FaultPoint &pt : points_) {
+        if (pt.kind != FaultKind::NetDelay || !windowed(pt, now, cls))
+            continue;
+        lo = pt.delayMin;
+        hi = pt.delayMax;
+        return true;
+    }
+    return false;
 }
 
 bool

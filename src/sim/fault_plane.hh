@@ -132,6 +132,15 @@ class FaultPlane
     /** Extra delivery delay for a message sent at @p now (net.delay). */
     Tick extraDelay(Tick now, int cls);
 
+    /**
+     * Does a net.delay window apply to a message of class @p cls sent
+     * at @p now? If so, @p lo / @p hi receive the first matching
+     * point's delay bounds. Pure query — no counters advance; the
+     * schedule explorer uses the bounds as a choice domain instead of
+     * rolling extraDelay()'s seeded dice.
+     */
+    bool delayWindow(Tick now, int cls, Tick &lo, Tick &hi) const;
+
     /** arb.skip_collision: grant this colliding request anyway? */
     bool skipCollision();
 

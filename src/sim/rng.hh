@@ -1,10 +1,14 @@
 /**
  * @file
- * Deterministic random number generation for workload synthesis.
+ * Deterministic random number generation: the one home of the
+ * simulator's splitmix64 machinery.
  *
  * Uses splitmix64 both as a stream generator and as a stateless
  * counter-based hash, so traces can be regenerated from (seed, proc,
- * index) without storing generator state.
+ * index) without storing generator state. The free helpers below are
+ * shared by every subsystem that needs counter-based decisions (fault
+ * plane, resend backoff jitter, sweep-point seed derivation) so the
+ * mapping from bits to decisions exists exactly once.
  */
 
 #ifndef BULKSC_SIM_RNG_HH
@@ -24,6 +28,39 @@ mix64(std::uint64_t z)
     return z ^ (z >> 31);
 }
 
+/** Map a 64-bit hash/stream output to a uniform double in [0, 1). */
+constexpr double
+u01(std::uint64_t u)
+{
+    return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+/**
+ * Derive an independent seed from a base seed and a stream key (the
+ * per-point derivation of the sweep runner and the per-decision hash
+ * of the fault plane share this shape).
+ */
+constexpr std::uint64_t
+deriveSeed(std::uint64_t seed, std::uint64_t key)
+{
+    return mix64(seed ^ mix64(key));
+}
+
+/**
+ * Deterministic +/-25% jitter around an exponential-backoff delay:
+ * returns a value in [base - base/4, base + base/4) keyed by @p key,
+ * so retransmission storms from several nodes decohere without
+ * perturbing reproducibility. @p base below 2 is returned unchanged.
+ */
+constexpr std::uint64_t
+jitteredBackoff(std::uint64_t base, std::uint64_t key)
+{
+    std::uint64_t span = base / 2;
+    if (span == 0)
+        return base;
+    return base - span / 2 + mix64(key) % span;
+}
+
 /**
  * A small, fast, deterministic PRNG (splitmix64 stream).
  */
@@ -36,11 +73,11 @@ class Rng
     std::uint64_t
     next()
     {
+        // mix64 adds the splitmix64 gamma before finalizing, so
+        // hashing the pre-increment state IS the stream step.
+        std::uint64_t z = mix64(state);
         state += 0x9e3779b97f4a7c15ULL;
-        std::uint64_t z = state;
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-        return z ^ (z >> 31);
+        return z;
     }
 
     /** @return a uniform value in [0, bound). @p bound must be > 0. */
@@ -54,7 +91,7 @@ class Rng
     double
     uniform()
     {
-        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+        return u01(next());
     }
 
     /** @return true with probability @p p. */

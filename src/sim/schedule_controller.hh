@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hook through which a systematic explorer steers the DES kernel.
+ *
+ * Normal simulation is a single schedule: same-tick events fire in
+ * FIFO order and fault-plane delay windows are resolved by seeded
+ * pseudo-randomness. A ScheduleController attached to the EventQueue
+ * (and the Network) turns both into *choice points*:
+ *
+ *  - network message deliveries are tagged with a footprint
+ *    (destination node plus the line address or R/W signatures the
+ *    message carries) when they are scheduled; when a same-tick batch
+ *    containing tagged events is about to fire, the controller may
+ *    permute it;
+ *  - when a fault-plane net.delay window applies to a message, the
+ *    controller picks the extra delay from the window's bounds instead
+ *    of rolling the seeded dice.
+ *
+ * Untagged events (processor wakeups, timers, internal callbacks) and
+ * far-horizon events keep their deterministic FIFO order: they are
+ * bookkeeping, not protocol nondeterminism, and reordering them would
+ * explore schedules no real machine exhibits.
+ *
+ * The footprints exist so the explorer can apply partial-order
+ * reduction: two deliveries commute when they target different nodes
+ * or their R/W footprints are disjoint (bulk disambiguation *is* the
+ * independence relation).
+ */
+
+#ifndef BULKSC_SIM_SCHEDULE_CONTROLLER_HH
+#define BULKSC_SIM_SCHEDULE_CONTROLLER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bulksc {
+
+class Signature;
+
+/**
+ * What a tagged event will do when it fires — the independence
+ * oracle's input. A delivery with no line and no signatures has an
+ * unknown footprint and is treated as dependent on everything.
+ */
+struct EventFootprint
+{
+    NodeId src = kNodeNone;
+    NodeId dst = kNodeNone;
+    int cls = -1; //!< TrafficClass as int (-1 = unknown)
+
+    bool hasLine = false;
+    LineAddr line = 0; //!< single-line footprint (valid iff hasLine)
+
+    /** Signature footprints (commit W deliveries, RSig transfers). */
+    std::shared_ptr<const Signature> rsig;
+    std::shared_ptr<const Signature> wsig;
+};
+
+/**
+ * The explorer's interface to the kernel. One controller instance
+ * drives exactly one EventQueue for exactly one run.
+ */
+class ScheduleController
+{
+  public:
+    /** Tag value of events that are not schedulable choices. */
+    static constexpr std::uint32_t kNoTag = ~std::uint32_t{0};
+
+    virtual ~ScheduleController() = default;
+
+    /**
+     * Register a tagged event about to be scheduled; the returned tag
+     * is carried by the kernel and handed back through orderBatch().
+     */
+    virtual std::uint32_t registerEvent(const EventFootprint &fp) = 0;
+
+    /**
+     * A same-tick batch is about to fire at @p now. @p tags holds one
+     * entry per event in scheduling (FIFO) order, kNoTag for untagged
+     * events. Fill @p order with a permutation of [0, tags.size()) to
+     * reorder the batch, or leave it empty for FIFO.
+     */
+    virtual void orderBatch(Tick now,
+                            const std::vector<std::uint32_t> &tags,
+                            std::vector<std::uint32_t> &order) = 0;
+
+    /**
+     * Pick the extra delivery delay for a message subject to an active
+     * net.delay window (@p lo .. @p hi inclusive, from the fault
+     * plane's FaultPoint bounds).
+     */
+    virtual Tick chooseDelay(Tick now, int cls, Tick lo, Tick hi) = 0;
+};
+
+} // namespace bulksc
+
+#endif // BULKSC_SIM_SCHEDULE_CONTROLLER_HH

@@ -175,7 +175,9 @@ struct Builder
 constexpr unsigned kSim = static_cast<unsigned>(OptionGroup::Sim);
 constexpr unsigned kBatch = static_cast<unsigned>(OptionGroup::Batch);
 constexpr unsigned kBench = static_cast<unsigned>(OptionGroup::Bench);
-constexpr unsigned kAll = kSim | kBatch | kBench;
+constexpr unsigned kExplore =
+    static_cast<unsigned>(OptionGroup::Explore);
+constexpr unsigned kAll = kSim | kBatch | kBench | kExplore;
 
 } // namespace
 
@@ -213,8 +215,9 @@ OptionRegistry::OptionRegistry()
 
     b.str("litmus", "NAME",
           "run a litmus test instead of a profile: sb | mp | iriw | "
-          "corr | 2+2w (--seed-salt picks the timing variant)",
-          kSim, true, &SimOptions::litmus);
+          "corr | 2+2w | wrc | isa2 (--seed-salt picks the timing "
+          "variant)",
+          kSim | kExplore, true, &SimOptions::litmus);
 
     b.uintSet("procs", "N", "processor count", kAll, true,
               [](SimOptions &o, std::uint64_t v) {
@@ -458,7 +461,7 @@ OptionRegistry::OptionRegistry()
         "check", "LIST",
         "correctness checkers, comma-separated: axiomatic | race | "
         "replay",
-        kSim, false,
+        kSim | kExplore, false,
         [](SimOptions &o, const std::string &v, std::string &err) {
             std::size_t pos = 0;
             while (pos <= v.size()) {
@@ -497,15 +500,16 @@ OptionRegistry::OptionRegistry()
           &SimOptions::saveTraces);
 
     b.str("load-traces", "FILE",
-          "replay a saved trace bundle instead of generating", kSim,
-          false, &SimOptions::loadTraces);
+          "replay a saved trace bundle instead of generating",
+          kSim | kExplore, false, &SimOptions::loadTraces);
 
     b.flag("stats", "dump every statistic (default: summary)", kSim,
            false, [](SimOptions &o, bool v) { o.dumpAll = v; },
            [](const SimOptions &o) { return o.dumpAll; });
 
-    b.flag("json", "dump every statistic as a JSON object", kSim,
-           false, [](SimOptions &o, bool v) { o.jsonOut = v; },
+    b.flag("json", "dump every statistic as a JSON object",
+           kSim | kExplore, false,
+           [](SimOptions &o, bool v) { o.jsonOut = v; },
            [](const SimOptions &o) { return o.jsonOut; });
 
     b.str("trace-out", "FILE",
@@ -531,9 +535,120 @@ OptionRegistry::OptionRegistry()
 
     b.flag("dump-config",
            "print the effective configuration as JSON and exit",
-           kSim | kBatch, false,
+           kSim | kBatch | kExplore, false,
            [](SimOptions &o, bool v) { o.dumpConfig = v; },
            [](const SimOptions &o) { return o.dumpConfig; });
+
+    // --- bulksc_explore: systematic schedule exploration ------------
+
+    b.uintSet("explore-schedules", "N",
+              "schedule budget: stop after running N schedules",
+              kExplore, true,
+              [](SimOptions &o, std::uint64_t v) {
+                  o.explore.maxSchedules = v;
+              },
+              [](const SimOptions &o) { return o.explore.maxSchedules; });
+
+    b.uintSet("explore-depth", "N",
+              "branch only on the first N decisions of each run",
+              kExplore, true,
+              [](SimOptions &o, std::uint64_t v) {
+                  o.explore.maxDecisions = v;
+              },
+              [](const SimOptions &o) { return o.explore.maxDecisions; });
+
+    b.uintSet("explore-ticks", "N", "per-schedule tick budget",
+              kExplore, true,
+              [](SimOptions &o, std::uint64_t v) {
+                  o.explore.tickLimit = v;
+              },
+              [](const SimOptions &o) { return o.explore.tickLimit; });
+
+    b.uintSet("explore-wall-ms", "N",
+              "wall-clock budget in milliseconds (0 = unlimited)",
+              kExplore, true,
+              [](SimOptions &o, std::uint64_t v) {
+                  o.explore.wallMs = v;
+              },
+              [](const SimOptions &o) { return o.explore.wallMs; });
+
+    b.uintSet("explore-jobs", "N",
+              "run up to N schedules concurrently (enumeration order "
+              "is identical for any N)",
+              kExplore, false,
+              [](SimOptions &o, std::uint64_t v) { o.explore.jobs = v; },
+              [](const SimOptions &o) { return o.explore.jobs; });
+
+    b.uintSet("explore-delay", "N",
+              "explore message delivery delays in [0,N] as choice "
+              "points (0 = deliveries keep their nominal latency)",
+              kExplore, true,
+              [](SimOptions &o, std::uint64_t v) {
+                  o.explore.delayChoices = v;
+              },
+              [](const SimOptions &o) { return o.explore.delayChoices; });
+
+    b.flag("explore-por",
+           "signature-based partial-order reduction (--no-explore-por "
+           "enumerates naively)",
+           kExplore, true,
+           [](SimOptions &o, bool v) { o.explore.por = v; },
+           [](const SimOptions &o) { return o.explore.por; });
+
+    b.flag("explore-fp-prune",
+           "prune schedules that revisit an already-expanded state "
+           "fingerprint",
+           kExplore, true,
+           [](SimOptions &o, bool v) { o.explore.fpPrune = v; },
+           [](const SimOptions &o) { return o.explore.fpPrune; });
+
+    b.flag("explore-bfs",
+           "breadth-first search order (default: depth-first)",
+           kExplore, true,
+           [](SimOptions &o, bool v) { o.explore.bfs = v; },
+           [](const SimOptions &o) { return o.explore.bfs; });
+
+    b.flag("explore-all",
+           "keep exploring after the first violation instead of "
+           "stopping",
+           kExplore, true,
+           [](SimOptions &o, bool v) { o.explore.stopAtFirst = !v; },
+           [](const SimOptions &o) { return !o.explore.stopAtFirst; });
+
+    b.flag("explore-minimize",
+           "minimize the first counterexample to its shortest "
+           "reproducing prefix",
+           kExplore, true,
+           [](SimOptions &o, bool v) { o.explore.minimize = v; },
+           [](const SimOptions &o) { return o.explore.minimize; });
+
+    b.strSet("schedule", "FILE",
+             "replay the schedule recorded in FILE (single run, no "
+             "search)",
+             kExplore, false,
+             [](SimOptions &o, const std::string &v, std::string &) {
+                 o.explore.schedule = v;
+                 return true;
+             },
+             [](const SimOptions &o) { return o.explore.schedule; });
+
+    b.strSet("schedule-out", "FILE",
+             "write the (minimized) counterexample schedule to FILE",
+             kExplore, false,
+             [](SimOptions &o, const std::string &v, std::string &) {
+                 o.explore.scheduleOut = v;
+                 return true;
+             },
+             [](const SimOptions &o) { return o.explore.scheduleOut; });
+
+    b.strSet("results-out", "FILE",
+             "stream one JSON object per explored schedule to FILE",
+             kExplore, false,
+             [](SimOptions &o, const std::string &v, std::string &) {
+                 o.explore.resultsOut = v;
+                 return true;
+             },
+             [](const SimOptions &o) { return o.explore.resultsOut; });
 }
 
 const OptionRegistry &

@@ -73,14 +73,36 @@ struct SimOptions
     std::string traceCats = "all"; //!< event categories to record
 
     bool dumpConfig = false; //!< print effective config JSON and exit
+
+    /** bulksc_explore driver settings (OptionGroup::Explore). */
+    struct ExploreOpts
+    {
+        std::uint64_t maxSchedules = 1000; //!< schedule budget
+        std::uint64_t maxDecisions = 64;   //!< branching depth cap
+        std::uint64_t tickLimit = 5'000'000; //!< per-run tick budget
+        std::uint64_t wallMs = 0;  //!< wall-clock budget (0 = off)
+        std::uint64_t jobs = 1;    //!< parallel wave width
+        /** Install a net.delay=0:N window on every message, turning
+         *  each delivery latency into an explored choice (0 = off). */
+        std::uint64_t delayChoices = 0;
+        bool por = true;     //!< signature-based POR
+        bool fpPrune = true; //!< fingerprint revisit pruning
+        bool bfs = false;    //!< breadth-first search order
+        bool stopAtFirst = true; //!< stop at the first violation
+        bool minimize = true;    //!< minimize the counterexample
+        std::string schedule;    //!< replay this schedule file only
+        std::string scheduleOut; //!< write the counterexample here
+        std::string resultsOut;  //!< per-schedule JSONL stream
+    } explore;
 };
 
 /** Which tool an option belongs to (bitmask values). */
 enum class OptionGroup : unsigned
 {
-    Sim = 1,   //!< bulksc_sim
-    Batch = 2, //!< bulksc_batch
-    Bench = 4, //!< micro/figure benches
+    Sim = 1,     //!< bulksc_sim
+    Batch = 2,   //!< bulksc_batch
+    Bench = 4,   //!< micro/figure benches
+    Explore = 8, //!< bulksc_explore
 };
 
 /** One entry of the option table. */

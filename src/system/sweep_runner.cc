@@ -71,9 +71,9 @@ SweepRunner::pointOptions(std::size_t idx, SimOptions &out,
     // Same point index, same trace and same fault schedule —
     // regardless of which worker runs it or how many there are.
     if (!sweepsSeedSalt)
-        out.seedSalt = mix64(base.seedSalt ^ mix64(idx));
+        out.seedSalt = deriveSeed(base.seedSalt, idx);
     if (!sweepsFaultSeed)
-        out.cfg.faultSeed = mix64(base.cfg.faultSeed ^ mix64(idx));
+        out.cfg.faultSeed = deriveSeed(base.cfg.faultSeed, idx);
     return true;
 }
 

@@ -5,6 +5,7 @@
 #include "cpu/scpp_processor.hh"
 #include "cpu/tso_processor.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 #include "workload/generator.hh"
 
 namespace bulksc {
@@ -148,6 +149,24 @@ System::enableAnalysis(bool axiomatic, bool race)
     }
 }
 
+void
+System::setScheduleController(ScheduleController *c)
+{
+    eq.setController(c);
+    net->setScheduleController(c);
+}
+
+std::uint64_t
+System::stateFingerprint() const
+{
+    std::uint64_t h = mix64(0x535953ULL); // "SYS"
+    for (const auto &p : procs)
+        h = mix64(h ^ p->fingerprint());
+    if (arb)
+        h = mix64(h ^ arb->fingerprint());
+    return mix64(h ^ memSys->fingerprint());
+}
+
 Results
 System::run(Tick limit)
 {
@@ -227,14 +246,18 @@ System::collectStats(Results &res) const
     sg.set("exec_time", static_cast<double>(res.execTime));
     sg.set("model_is_bulk", isBulk(cfg.model) ? 1 : 0);
 
-    // Network traffic by class (Figure 11).
+    // Network traffic by class (Figure 11), both absolute bits and
+    // each class's share of the total.
+    double totalBits = static_cast<double>(net->totalBits());
     for (unsigned c = 0;
          c < static_cast<unsigned>(TrafficClass::NumClasses); ++c) {
         auto cls = static_cast<TrafficClass>(c);
-        sg.set(std::string("net.bits.") + trafficClassName(cls),
-               static_cast<double>(net->bitsSent(cls)));
+        double bits = static_cast<double>(net->bitsSent(cls));
+        sg.set(std::string("net.bits.") + trafficClassName(cls), bits);
+        sg.set(std::string("net.share.") + trafficClassName(cls),
+               totalBits > 0 ? 100.0 * bits / totalBits : 0.0);
     }
-    sg.set("net.bits.total", static_cast<double>(net->totalBits()));
+    sg.set("net.bits.total", totalBits);
     sg.set("net.messages", static_cast<double>(net->messages()));
     sg.set("net.queueing_cycles",
            static_cast<double>(net->queueingCycles()));

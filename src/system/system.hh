@@ -106,6 +106,21 @@ class System
     /** The attached analysis engine, or nullptr. */
     const AnalysisEngine *analysis() const { return engine.get(); }
 
+    /**
+     * Attach a schedule controller (exploration mode): the event
+     * queue consults it for same-tick delivery ordering and the
+     * network for message-delay choices. Call before run(), with the
+     * event queue still empty. Pass nullptr to detach.
+     */
+    void setScheduleController(ScheduleController *c);
+
+    /**
+     * Digest of the machine's protocol state (processors, arbiter,
+     * memory system) for explorer revisit pruning. Timing state is
+     * deliberately excluded — see the component fingerprints.
+     */
+    std::uint64_t stateFingerprint() const;
+
     // --- component access for tests and benches ---
     MemorySystem &memory() { return *memSys; }
     Network &network() { return *net; }

@@ -8,6 +8,7 @@ constexpr Addr kX = 0x9000'0000;
 constexpr Addr kY = 0x9000'0040; // different line
 constexpr Addr kData = 0x9000'0080;
 constexpr Addr kFlag = 0x9000'00C0;
+constexpr Addr kZ = 0x9000'0100;
 
 Op
 mkLoad(Addr a, std::uint32_t slot, std::uint32_t gap)
@@ -197,6 +198,96 @@ make2Plus2W(unsigned variant)
     return lt;
 }
 
+LitmusTest
+makeWrc(unsigned variant)
+{
+    LitmusTest lt;
+    lt.name = "wrc-v" + std::to_string(variant);
+    lt.traces.resize(3);
+
+    warmup(lt.traces[0], {kX}, variant * 7);
+    lt.traces[0].ops.push_back(mkStore(kX, 1, 1 + variant % 7));
+    lt.traces[0].finalize();
+
+    warmup(lt.traces[1], {kX, kY}, variant * 7);
+    lt.traces[1].ops.push_back(mkLoad(kX, 0, 1 + variant % 5));
+    lt.traces[1].ops.push_back(mkStore(kY, 1, 1));
+    lt.traces[1].finalize();
+
+    warmup(lt.traces[2], {kX, kY}, variant * 7);
+    lt.traces[2].ops.push_back(mkLoad(kY, 0, 1));
+    lt.traces[2].ops.push_back(mkLoad(kX, 1, 1));
+    lt.traces[2].finalize();
+
+    // P1 saw x==1 and then published y==1; once P2 sees y==1, SC
+    // makes x==1 visible to it too.
+    lt.allowedSC =
+        [](const std::vector<std::vector<std::uint64_t>> &r) {
+            return !(r[1][0] == 1 && r[2][0] == 1 && r[2][1] == 0);
+        };
+    return lt;
+}
+
+LitmusTest
+makeIsa2(unsigned variant)
+{
+    LitmusTest lt;
+    lt.name = "isa2-v" + std::to_string(variant);
+    lt.traces.resize(3);
+
+    warmup(lt.traces[0], {kX, kY}, variant * 9);
+    lt.traces[0].ops.push_back(mkStore(kX, 1, 1 + variant % 7));
+    lt.traces[0].ops.push_back(mkStore(kY, 1, 1));
+    lt.traces[0].finalize();
+
+    warmup(lt.traces[1], {kY, kZ}, variant * 9);
+    lt.traces[1].ops.push_back(mkLoad(kY, 0, 1 + variant % 5));
+    lt.traces[1].ops.push_back(mkStore(kZ, 1, 1));
+    lt.traces[1].finalize();
+
+    warmup(lt.traces[2], {kX, kZ}, variant * 9);
+    lt.traces[2].ops.push_back(mkLoad(kZ, 0, 1));
+    lt.traces[2].ops.push_back(mkLoad(kX, 1, 1));
+    lt.traces[2].finalize();
+
+    // The transitive chain x=1; y=1 → y==1; z=1 → z==1 forces x==1
+    // at the final load under SC.
+    lt.allowedSC =
+        [](const std::vector<std::vector<std::uint64_t>> &r) {
+            return !(r[1][0] == 1 && r[2][0] == 1 && r[2][1] == 0);
+        };
+    return lt;
+}
+
+bool
+litmusByName(const std::string &name, unsigned variant, LitmusTest &out)
+{
+    if (name == "sb") {
+        out = makeStoreBuffering(variant);
+    } else if (name == "mp") {
+        out = makeMessagePassing(variant);
+    } else if (name == "iriw") {
+        out = makeIriw(variant);
+    } else if (name == "corr") {
+        out = makeCoRR(variant);
+    } else if (name == "2+2w") {
+        out = make2Plus2W(variant);
+    } else if (name == "wrc") {
+        out = makeWrc(variant);
+    } else if (name == "isa2") {
+        out = makeIsa2(variant);
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char *
+litmusNames()
+{
+    return "sb, mp, iriw, corr, 2+2w, wrc, isa2";
+}
+
 std::vector<LitmusTest>
 allLitmusTests(unsigned variants)
 {
@@ -207,6 +298,8 @@ allLitmusTests(unsigned variants)
         v.push_back(makeIriw(i));
         v.push_back(makeCoRR(i));
         v.push_back(make2Plus2W(i));
+        v.push_back(makeWrc(i));
+        v.push_back(makeIsa2(i));
     }
     return v;
 }

@@ -73,6 +73,27 @@ LitmusTest makeCoRR(unsigned variant = 0);
  */
 LitmusTest make2Plus2W(unsigned variant = 0);
 
+/**
+ * Write-to-read causality: P0: x=1.  P1: r0=x; y=1.  P2: r1=y; r2=x.
+ * SC forbids r0==1 && r1==1 && r2==0 (P2 observing P1's write must
+ * also observe what P1 observed).
+ */
+LitmusTest makeWrc(unsigned variant = 0);
+
+/**
+ * ISA2 (transitive message passing): P0: x=1; y=1.  P1: r0=y; z=1.
+ * P2: r1=z; r2=x.  SC forbids r0==1 && r1==1 && r2==0.
+ */
+LitmusTest makeIsa2(unsigned variant = 0);
+
+/** Look up a litmus test by its CLI name ("sb", "mp", "iriw",
+ *  "corr", "2+2w", "wrc", "isa2"); false if unknown. */
+bool litmusByName(const std::string &name, unsigned variant,
+                  LitmusTest &out);
+
+/** The comma-separated list of known names (for error messages). */
+const char *litmusNames();
+
 /** All litmus tests across a few timing variants. */
 std::vector<LitmusTest> allLitmusTests(unsigned variants = 4);
 

@@ -178,7 +178,8 @@ TEST(Generator, RadixWritesAreDisjointAcrossProcessors)
 TEST(Litmus, SuitesAreWellFormed)
 {
     auto tests = allLitmusTests(3);
-    EXPECT_EQ(tests.size(), 15u);
+    // 7 tests (sb, mp, iriw, corr, 2+2w, wrc, isa2) x 3 variants.
+    EXPECT_EQ(tests.size(), 21u);
     for (const auto &lt : tests) {
         EXPECT_GE(lt.traces.size(), 2u);
         for (const auto &t : lt.traces)

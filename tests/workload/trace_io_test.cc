@@ -12,6 +12,7 @@
 
 #include "system/system.hh"
 #include "workload/generator.hh"
+#include "workload/litmus.hh"
 #include "workload/trace_io.hh"
 
 namespace bulksc {
@@ -77,6 +78,61 @@ TEST_F(TraceIoTest, ReplayIsBitIdentical)
                      rb.stats.get("net.bits.total"));
     EXPECT_DOUBLE_EQ(ra.stats.get("cpu.squashes"),
                      rb.stats.get("cpu.squashes"));
+}
+
+TEST_F(TraceIoTest, DoubleRoundTripIsByteIdentical)
+{
+    auto traces = generateTraces(profileByName("ocean"), 2, 5000);
+    ASSERT_TRUE(saveTraces(path, traces));
+    auto loaded = loadTraces(path);
+    ASSERT_FALSE(loaded.empty());
+
+    std::string path2 = path + ".2";
+    ASSERT_TRUE(saveTraces(path2, loaded));
+    auto slurp = [](const std::string &p) {
+        std::FILE *f = std::fopen(p.c_str(), "rb");
+        std::string out;
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            out.append(buf, n);
+        std::fclose(f);
+        return out;
+    };
+    EXPECT_EQ(slurp(path), slurp(path2));
+    std::remove(path2.c_str());
+}
+
+TEST_F(TraceIoTest, LitmusTracesRoundTrip)
+{
+    // Litmus traces exercise the corners profile-generated ones
+    // rarely do: tiny op counts, tracked loads, explicit store
+    // values, and zero-gap sequences.
+    LitmusTest lt;
+    ASSERT_TRUE(litmusByName("wrc", 0, lt));
+    ASSERT_TRUE(saveTraces(path, lt.traces));
+    auto loaded = loadTraces(path);
+    ASSERT_EQ(loaded.size(), lt.traces.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        ASSERT_EQ(loaded[i].ops.size(), lt.traces[i].ops.size());
+        for (std::size_t j = 0; j < loaded[i].ops.size(); ++j) {
+            const Op &a = lt.traces[i].ops[j];
+            const Op &b = loaded[i].ops[j];
+            ASSERT_EQ(a.addr, b.addr);
+            ASSERT_EQ(a.type, b.type);
+            ASSERT_EQ(a.storeValue, b.storeValue);
+            ASSERT_EQ(a.tracked, b.tracked);
+            ASSERT_EQ(a.aux, b.aux);
+        }
+    }
+}
+
+TEST_F(TraceIoTest, EmptyTraceListRoundTrips)
+{
+    setQuiet(true);
+    std::vector<Trace> none;
+    ASSERT_TRUE(saveTraces(path, none));
+    EXPECT_TRUE(loadTraces(path).empty());
 }
 
 TEST_F(TraceIoTest, MissingFileIsEmpty)

@@ -51,26 +51,6 @@ usage(const char *argv0)
     std::exit(1);
 }
 
-bool
-litmusByName(const std::string &name, unsigned variant,
-             LitmusTest &out)
-{
-    if (name == "sb") {
-        out = makeStoreBuffering(variant);
-    } else if (name == "mp") {
-        out = makeMessagePassing(variant);
-    } else if (name == "iriw") {
-        out = makeIriw(variant);
-    } else if (name == "corr") {
-        out = makeCoRR(variant);
-    } else if (name == "2+2w") {
-        out = make2Plus2W(variant);
-    } else {
-        return false;
-    }
-    return true;
-}
-
 } // namespace
 
 int
@@ -122,9 +102,8 @@ main(int argc, char **argv)
                           static_cast<unsigned>(opts.seedSalt),
                           litmus)) {
             std::fprintf(stderr,
-                         "unknown litmus test '%s' (known: sb, mp, "
-                         "iriw, corr, 2+2w)\n",
-                         opts.litmus.c_str());
+                         "unknown litmus test '%s' (known: %s)\n",
+                         opts.litmus.c_str(), litmusNames());
             usage(argv[0]);
         }
         traces = litmus.traces;
